@@ -1,0 +1,63 @@
+"""Ablation C: the future-work multi-core architecture (lane scaling).
+
+Paper §V: "we plan to leverage the FPGA's parallelism to develop a
+multi-core architecture where multiple DNA fragments are mapped at the
+same time."  This bench evaluates that proposal under the resource
+model of :mod:`repro.fpga.multicore`: kernel throughput versus replicated
+pipeline count on the Table II 100 M-read workload, showing linear
+scaling inside the BRAM port budget, sub-linear scaling beyond it, and
+the eventual PCIe-transfer bound.
+"""
+
+import pytest
+
+from repro.bench.harness import get_index, get_reference
+from repro.bench.reporting import render_table
+from repro.fpga.accelerator import FPGAAccelerator
+from repro.fpga.cost_model import FPGACostModel
+from repro.fpga.multicore import MulticoreModel, scaling_curve
+from repro.io.readsim import simulate_reads
+
+LANES = (1, 2, 4, 8, 16, 32)
+
+
+def bench_ablation_multicore_scaling(benchmark, save_report):
+    index, report = get_index("chr21")
+    index.backend.build_batch_cache()
+    ref = get_reference("chr21")
+    reads = simulate_reads(ref, 400, 40, mapping_ratio=0.75, seed=902).reads
+
+    acc = FPGAAccelerator.for_index(index)
+    run = benchmark(lambda: acc.map_batch(reads))
+    hw_per_read = run.kernel_run.hw_steps_total / len(reads)
+
+    n_paper = 100_000_000
+    curve = scaling_curve(
+        FPGACostModel(),
+        structure_bytes=12_730_000,
+        hw_steps_total=int(hw_per_read * n_paper),
+        n_reads=n_paper,
+        lane_counts=LANES,
+        multicore=MulticoreModel(),
+    )
+    text = render_table(
+        ["lanes", "modeled s", "speedup vs 1 lane", "Mreads/s"],
+        [
+            [
+                int(r["lanes"]),
+                f"{r['seconds']:.2f}",
+                f"{r['speedup_vs_1']:.2f}x",
+                f"{r['reads_per_second'] / 1e6:.1f}",
+            ]
+            for r in curve
+        ],
+        title="Ablation C — multi-core (pipeline replication), Table II 100M workload",
+    )
+    save_report("ablation_multicore", text)
+
+    speedups = [r["speedup_vs_1"] for r in curve]
+    assert speedups == sorted(speedups)
+    # Linear region: 1 -> 4 lanes nearly 4x (load overhead eats a little).
+    assert speedups[2] == pytest.approx(4.0, rel=0.25)
+    # Saturation: 32 lanes nowhere near 32x.
+    assert speedups[-1] < 24

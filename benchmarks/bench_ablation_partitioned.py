@@ -1,0 +1,88 @@
+"""Ablation F: partitioned indexes for references beyond 100 Mbp.
+
+Paper §V future work: "allow reference sequences longer than 100
+millions bp".  The single-structure design is capacity-bound by the
+device's on-chip pool; :class:`~repro.index.partitioned.PartitionedIndex`
+splits the reference into chunks that fit and pays a structure reload
+per chunk.  This bench quantifies the trade for a modeled 200 Mbp
+reference (≈2x the single-device capacity):
+
+* correctness: hits identical to a monolithic index (measured at test
+  scale, including seam-straddling patterns);
+* cost: modeled device time vs chunk size — fewer/larger chunks amortize
+  reloads, bounded by the capacity ceiling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import get_reference
+from repro.bench.reporting import render_table
+from repro.fpga.cost_model import DEFAULT_COST_MODEL
+from repro.fpga.device import ALVEO_U200, max_reference_bases
+from repro.index.builder import build_index
+from repro.index.partitioned import PartitionedIndex
+
+
+def bench_ablation_partitioned_long_reference(benchmark, save_report):
+    ref = get_reference("ecoli")  # ~193 kbp at test scale
+
+    # Correctness at test scale: partitioned == monolithic.
+    mono, _ = build_index(ref, sf=50)
+    part = benchmark(
+        lambda: PartitionedIndex(ref, chunk_bases=60_000, max_query_length=100, sf=50)
+    )
+    rng = np.random.default_rng(905)
+    for _ in range(10):
+        start = int(rng.integers(0, len(ref) - 80))
+        pat = ref[start : start + 80]
+        assert part.locate(pat).tolist() == mono.locate(pat).tolist()
+    # Seam-straddling pattern.
+    seam = 60_000
+    pat = ref[seam - 40 : seam + 40]
+    assert seam - 40 in part.locate(pat).tolist()
+
+    # Cost model at paper-plus scale: a 200 Mbp reference.
+    density = 12.73e6 / 40.1e6  # paper's Chr21 structure density, B/base
+    capacity = max_reference_bases(ALVEO_U200, bytes_per_base=density)
+    target_bases = 200_000_000
+    n_reads = 10_000_000
+    hw_steps = n_reads * 40 // 2  # ~40 bp reads, dual pipelines
+
+    rows = []
+    times = {}
+    for n_chunks in (2, 3, 4, 8):
+        chunk_bases = target_bases // n_chunks
+        if chunk_bases > capacity:
+            continue
+        struct_bytes = int(chunk_bases * density)
+        total = sum(
+            DEFAULT_COST_MODEL.run_seconds(struct_bytes, hw_steps, n_reads)
+            for _ in range(n_chunks)
+        )
+        times[n_chunks] = total
+        rows.append(
+            [
+                n_chunks,
+                f"{chunk_bases / 1e6:.0f} Mbp",
+                f"{struct_bytes / 1e6:.1f} MB",
+                f"{total:.2f}s",
+                f"{n_reads / total / 1e6:.2f}",
+            ]
+        )
+    text = render_table(
+        ["chunks", "chunk size", "structure", "modeled s (10M reads)", "Mreads/s"],
+        rows,
+        title=(
+            "Ablation F — 200 Mbp reference via partitioning "
+            f"(single-device capacity ~{capacity / 1e6:.0f} Mbp at the paper's density)"
+        ),
+    )
+    save_report("ablation_partitioned", text)
+
+    # Fewer, larger chunks are better (reload amortization)...
+    keys = sorted(times)
+    assert all(times[a] <= times[b] for a, b in zip(keys, keys[1:]))
+    # ...and the 2-chunk split must fit the device.
+    assert target_bases / 2 <= capacity
+    assert times[keys[0]] == pytest.approx(min(times.values()))

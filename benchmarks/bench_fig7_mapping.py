@@ -1,0 +1,95 @@
+"""Fig. 7 reproduction: mapping time vs mapping ratio.
+
+Regenerates the figure's series — time to map a fixed read set against
+the E. coli-like and Chr21-like references at mapping ratios 0-100 % for
+several (b, sf) — and checks the paper's three claims:
+
+* mapping time grows with the mapping ratio (unmapped reads terminate
+  the backward search early);
+* mapping time is independent of the reference length (E. coli vs Chr21
+  at the same ratio differ far less than the 8.6x length ratio);
+* mapping time grows with sf (more class sums per rank).
+
+Measured columns run a scaled read count; the modeled columns evaluate
+the native-CPU and FPGA cost models at the paper's 240 k reads.
+"""
+
+import pytest
+
+from repro.bench.harness import experiment_fig7, get_index, get_reference
+from repro.bench.reporting import render_table
+from repro.io.readsim import simulate_reads
+from repro.mapper.batch import run_mapping_batch
+
+RATIOS = (0.0, 0.25, 0.5, 0.75, 1.0)
+CONFIGS = ((15, 50), (15, 100))
+N_READS = 1200
+READ_LENGTH = 100
+
+
+@pytest.fixture(scope="module")
+def fig7_rows():
+    return experiment_fig7(
+        configs=CONFIGS, ratios=RATIOS, n_reads=N_READS, read_length=READ_LENGTH
+    )
+
+
+def bench_fig7_mapping_time(benchmark, save_report, fig7_rows):
+    rows = fig7_rows
+
+    # Timed kernel: one measured mapping run at 100% ratio on E.coli.
+    index, _ = get_index("ecoli", b=15, sf=50)
+    index.backend.build_batch_cache()
+    ref = get_reference("ecoli")
+    reads = simulate_reads(ref, 300, READ_LENGTH, mapping_ratio=1.0, seed=4).reads
+    benchmark(lambda: run_mapping_batch(index, reads, keep_results=False))
+
+    text = render_table(
+        [
+            "profile",
+            "b",
+            "sf",
+            "ratio",
+            "measured s (1.2k reads)",
+            "steps/read",
+            "modeled CPU ms (240k)",
+            "modeled FPGA ms (240k)",
+        ],
+        [
+            [
+                r["profile"],
+                r["b"],
+                r["sf"],
+                f"{r['mapping_ratio']:.2f}",
+                f"{r['measured_seconds']:.3f}",
+                f"{r['bs_steps_per_read']:.1f}",
+                f"{r['native_cpu_ms_240k']:.1f}",
+                f"{r['fpga_ms_240k']:.1f}",
+            ]
+            for r in rows
+        ],
+        title="Fig. 7 — mapping time vs mapping ratio (240k reads modeled)",
+    )
+    save_report("fig7_mapping", text)
+
+    by_key = {(r["profile"], r["b"], r["sf"], r["mapping_ratio"]): r for r in rows}
+
+    # Claim 1: work grows with mapping ratio.
+    for profile in ("ecoli", "chr21"):
+        for b, sf in CONFIGS:
+            series = [by_key[(profile, b, sf, x)]["bs_steps_per_read"] for x in RATIOS]
+            assert series == sorted(series), (profile, b, sf, series)
+            assert series[-1] > 1.5 * series[0]
+
+    # Claim 2: independence from reference length (same ratio, same config:
+    # modeled times within 40% despite an ~8.6x reference length gap).
+    for x in (0.5, 1.0):
+        a = by_key[("ecoli", 15, 50, x)]["native_cpu_ms_240k"]
+        c = by_key[("chr21", 15, 50, x)]["native_cpu_ms_240k"]
+        assert abs(a - c) / max(a, c) < 0.4, (x, a, c)
+
+    # Claim 3: larger sf costs more CPU time (more class-sum iterations).
+    for profile in ("ecoli", "chr21"):
+        t50 = by_key[(profile, 15, 50, 1.0)]["native_cpu_ms_240k"]
+        t100 = by_key[(profile, 15, 100, 1.0)]["native_cpu_ms_240k"]
+        assert t100 > t50, (profile, t50, t100)

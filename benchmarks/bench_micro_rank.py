@@ -1,0 +1,79 @@
+"""Micro-benchmarks: the rank primitive across structures.
+
+Rank is the operation everything reduces to — each backward-search step
+issues four binary ranks on the succinct path.  These benches time the
+single-query and batched rank of every structure in the repository on
+identical 1 Mbit data, giving the per-op numbers behind the cost models
+(and a regression canary for the hot paths).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bitvector import BitVector
+from repro.core.interleaved import InterleavedRankVector
+from repro.core.rrr import RRRVector
+
+N_BITS = 1_000_000
+N_QUERIES = 2_000
+
+
+@pytest.fixture(scope="module")
+def bits():
+    rng = np.random.default_rng(77)
+    return rng.integers(0, 2, N_BITS).astype(np.uint8)
+
+
+@pytest.fixture(scope="module")
+def positions():
+    rng = np.random.default_rng(78)
+    return rng.integers(0, N_BITS + 1, N_QUERIES)
+
+
+def bench_rank_plain_bitvector(benchmark, bits, positions):
+    v = BitVector(bits)
+    expected = int(np.cumsum(bits)[-1])
+
+    def run():
+        return v.rank1_many(positions)
+
+    out = benchmark(run)
+    assert out.max() <= expected
+
+
+def bench_rank_rrr_paper_params(benchmark, bits, positions):
+    v = RRRVector(bits, b=15, sf=50)
+    v.build_batch_cache()
+
+    def run():
+        return v.rank1_many(positions)
+
+    out = benchmark(run)
+    assert np.array_equal(out, BitVector(bits).rank1_many(positions))
+
+
+def bench_rank_rrr_scalar(benchmark, bits, positions):
+    v = RRRVector(bits, b=15, sf=50)
+    scalar_positions = positions[:100]
+
+    def run():
+        return [v.rank1(int(p)) for p in scalar_positions]
+
+    out = benchmark(run)
+    oracle = BitVector(bits)
+    assert out == [oracle.rank1(int(p)) for p in scalar_positions]
+
+
+def bench_rank_interleaved(benchmark, bits, positions):
+    v = InterleavedRankVector(bits, b=48)
+
+    def run():
+        return v.rank1_many(positions)
+
+    out = benchmark(run)
+    assert np.array_equal(out, BitVector(bits).rank1_many(positions))
+
+
+def bench_rrr_construction(benchmark, bits):
+    result = benchmark(lambda: RRRVector(bits, b=15, sf=50))
+    assert result.n == N_BITS

@@ -1,0 +1,84 @@
+"""Table II reproduction: {1, 10, 100} M x 40 bp reads on Chromosome 21.
+
+Regenerates the table's grid — three read counts x five engines — and
+checks its headline trend: the FPGA's advantage *grows* with the read
+count because the BWT-structure load is a fixed overhead ("when the
+number of sequences to align increases, the speed-up increases too").
+"""
+
+import pytest
+
+from repro.bench.calibration import PAPER_TABLE2
+from repro.bench.harness import experiment_table2, get_index, get_reference
+from repro.bench.reporting import fmt_ms, fmt_ratio, render_table
+from repro.fpga.accelerator import FPGAAccelerator
+from repro.io.readsim import simulate_reads
+
+READ_COUNTS = (1_000_000, 10_000_000, 100_000_000)
+
+
+@pytest.fixture(scope="module")
+def table2_rows():
+    return experiment_table2(n_sample=1000, mapping_ratio=0.75)
+
+
+def bench_table2_chr21_scaling(benchmark, save_report, table2_rows):
+    rows = table2_rows
+
+    index, _ = get_index("chr21")
+    index.backend.build_batch_cache()
+    ref = get_reference("chr21")
+    reads = simulate_reads(ref, 250, 40, mapping_ratio=0.75, seed=6).reads
+    acc = FPGAAccelerator.for_index(index)
+    benchmark(lambda: acc.map_batch(reads))
+
+    table = []
+    for n in READ_COUNTS:
+        for r in rows:
+            if r["reads"] != n:
+                continue
+            table.append(
+                [
+                    f"{n // 1_000_000}M",
+                    r["engine"],
+                    fmt_ms(r["modeled_ms"] / 1e3),
+                    fmt_ms(r["paper_ms"] / 1e3) if r["paper_ms"] else "-",
+                    fmt_ratio(r["speedup_vs_fpga"]),
+                    fmt_ratio(
+                        PAPER_TABLE2["rows"][n]["speedup_vs_fpga"].get(
+                            r["engine"], float("nan")
+                        )
+                    ),
+                    fmt_ratio(r["power_eff_vs_fpga"]),
+                ]
+            )
+    text = render_table(
+        ["reads", "engine", "modeled ms", "paper ms", "speed-up", "paper speed-up", "power eff"],
+        table,
+        title="Table II — 1/10/100M x 40bp reads on Chr21",
+    )
+    save_report("table2", text)
+
+    def get(n, engine, key):
+        return next(r[key] for r in rows if r["reads"] == n and r["engine"] == engine)
+
+    # Headline trend: FPGA speedup vs CPU grows with read count.
+    cpu_speedups = [get(n, "bwaver_cpu", "speedup_vs_fpga") for n in READ_COUNTS]
+    assert cpu_speedups == sorted(cpu_speedups), cpu_speedups
+    assert cpu_speedups[-1] > 2 * cpu_speedups[0]
+
+    # Paper bands: 13.6x -> 70.4x for the CPU column across the sweep.
+    assert 5 < cpu_speedups[0] < 40  # paper: 13.62x at 1M
+    assert 30 < cpu_speedups[-1] < 140  # paper: 70.39x at 100M
+
+    # At 1M reads Bowtie2-16t can beat the FPGA (paper: 0.74x); at 100M
+    # the FPGA must win clearly (paper: 4.91x).
+    bt16_1m = get(1_000_000, "bowtie2_16t", "speedup_vs_fpga")
+    bt16_100m = get(100_000_000, "bowtie2_16t", "speedup_vs_fpga")
+    assert bt16_1m < bt16_100m
+    assert 1.5 < bt16_100m < 12
+
+    # FPGA time grows sublinearly from 1M to 10M (load amortization).
+    fpga_times = [get(n, "fpga", "modeled_ms") for n in READ_COUNTS]
+    assert fpga_times[1] < 6 * fpga_times[0]
+    assert fpga_times[2] < 11 * fpga_times[1]

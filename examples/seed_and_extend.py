@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Seed-and-extend alignment: exact mapping as a seeder (paper §I).
+
+The paper motivates fast exact short-fragment mapping as the *seeding*
+stage of modern aligners: exact hits of read substrings nominate
+candidate loci, which a Smith-Waterman pass then extends and scores.
+This example aligns reads carrying substitutions *and* indels — which
+pure exact matching (and even bounded-mismatch search) cannot place —
+using the FM-index seeder plus the vectorized Smith-Waterman extender.
+
+Run:  python examples/seed_and_extend.py
+"""
+
+import numpy as np
+
+from repro import Mapper, build_index
+from repro.io import E_COLI_LIKE, generate_reference
+from repro.mapper.seed_extend import SeedExtendAligner, SeedExtendConfig
+
+
+def corrupt(read: str, rng, n_subs: int = 4, indel: bool = True) -> str:
+    """Apply substitutions and one short deletion to a read."""
+    chars = list(read)
+    for site in rng.choice(len(chars), size=n_subs, replace=False).tolist():
+        chars[site] = "ACGT"[("ACGT".index(chars[site]) + 1) % 4]
+    if indel:
+        cut = int(rng.integers(10, len(chars) - 10))
+        del chars[cut : cut + 2]
+    return "".join(chars)
+
+
+def main() -> None:
+    rng = np.random.default_rng(31)
+    reference = generate_reference(E_COLI_LIKE, scale=0.01, seed=30)  # ~46 kbp
+    index, _ = build_index(reference, b=15, sf=50)
+    aligner = SeedExtendAligner(
+        index,
+        reference,
+        SeedExtendConfig(seed_length=18, max_candidates=6, window_pad=20),
+    )
+
+    # Reads drawn from known loci, then corrupted beyond exact matching.
+    loci = rng.integers(0, len(reference) - 120, size=30)
+    reads = [corrupt(reference[p : p + 120], rng) for p in loci.tolist()]
+
+    exact = Mapper(index, locate=False).map_reads(reads)
+    exact_mapped = sum(1 for r in exact if r.mapped)
+    print(f"{len(reads)} corrupted reads (4 SNVs + 2 bp deletion each)")
+    print(f"exact matching places {exact_mapped}/{len(reads)} "
+          f"(expected ~0: every read is mutated)")
+
+    hits = aligner.align_reads(reads)
+    placed = 0
+    correct = 0
+    for locus, hit in zip(loci.tolist(), hits):
+        if hit is None:
+            continue
+        placed += 1
+        if abs(hit.alignment.target_start - locus) <= 25:
+            correct += 1
+    print(f"seed-and-extend places {placed}/{len(reads)}; "
+          f"{correct} within 25 bp of the true locus")
+
+    sample = next(h for h in hits if h is not None)
+    print(f"\nexample alignment: read {sample.read_id}, strand {sample.strand}, "
+          f"locus {sample.alignment.target_start}, score {sample.alignment.score}, "
+          f"CIGAR {sample.alignment.cigar} ({sample.seed_votes} seed votes)")
+    assert correct >= len(reads) * 0.8, "the extender should recover most loci"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Brute-force oracles used by tests and tiny-input sanity checks.
+
+Everything here is intentionally naive — these functions define
+correctness for the clever implementations:
+
+* :func:`find_all` / :func:`count_occurrences` — direct string scanning
+  with overlap handling (``str.find`` misses overlapping hits; this
+  doesn't);
+* :func:`find_all_both_strands` — the mapper's ground truth;
+* :func:`find_with_mismatches` — Hamming-distance scan backing the
+  k-mismatch search tests;
+* :class:`NaiveRank` — per-prefix symbol counting, the oracle for every
+  rank structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sequence.alphabet import reverse_complement
+
+
+def find_all(text: str, pattern: str) -> list[int]:
+    """All (overlapping) occurrence positions of ``pattern`` in ``text``."""
+    if not pattern:
+        return list(range(len(text) + 1))
+    out: list[int] = []
+    start = 0
+    while True:
+        i = text.find(pattern, start)
+        if i < 0:
+            return out
+        out.append(i)
+        start = i + 1
+
+
+def count_occurrences(text: str, pattern: str) -> int:
+    """Number of (overlapping) occurrences of ``pattern`` in ``text``."""
+    return len(find_all(text, pattern))
+
+
+def find_all_both_strands(text: str, pattern: str) -> tuple[list[int], list[int]]:
+    """Positions of the pattern and of its reverse complement."""
+    return find_all(text, pattern), find_all(text, reverse_complement(pattern))
+
+
+def find_with_mismatches(text: str, pattern: str, k: int) -> list[tuple[int, int]]:
+    """All ``(position, hamming_distance)`` with distance ``<= k``.
+
+    O(n·m); use only on small inputs.
+    """
+    m = len(pattern)
+    if m == 0 or m > len(text):
+        return []
+    out: list[tuple[int, int]] = []
+    for i in range(len(text) - m + 1):
+        dist = sum(1 for a, b in zip(text[i : i + m], pattern) if a != b)
+        if dist <= k:
+            out.append((i, dist))
+    return out
+
+
+class NaiveRank:
+    """Prefix-count oracle over an integer code sequence."""
+
+    def __init__(self, codes):
+        self.codes = np.asarray(codes, dtype=np.int64)
+
+    def rank(self, symbol: int, p: int) -> int:
+        if not 0 <= p <= self.codes.size:
+            raise IndexError(f"rank position {p} out of range")
+        return int(np.count_nonzero(self.codes[:p] == symbol))
+
+    def select(self, symbol: int, k: int) -> int:
+        hits = np.flatnonzero(self.codes == symbol)
+        if k < 1 or k > hits.size:
+            raise IndexError(f"select({symbol}, {k}) out of range")
+        return int(hits[k - 1])

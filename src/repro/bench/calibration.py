@@ -1,0 +1,204 @@
+"""Calibration constants and the paper's reference numbers.
+
+Everything "magic" in the reproduction lives in this module, visible and
+printed by every bench run.
+
+Two analytic cost models convert *measured operation counts* (from
+:mod:`repro.core.counters`) into **native-equivalent seconds** — the time
+an optimized C++ implementation would take for the same work.  Pure
+Python wall clock is also always reported, but the paper's ratios can
+only be reproduced on native-equivalent time (CPython is 100-1000×
+slower than the authors' binaries, uniformly inflating every column).
+
+Calibration provenance (worked in comments below):
+
+* the paper's own Table I — BWaveR CPU, sf=50, 100 M reads of 35 bp in
+  247 214 ms — fixes the succinct model near **2.47 µs/read**, i.e.
+  ~0.30 ns per class-sum iteration with a ~1 ns base per binary rank
+  (both values squarely in range for an L1-resident scan on a ~2.3 GHz
+  Xeon);
+* Table I's Bowtie2 single-thread row — 176 683 ms for the same reads —
+  fixes the checkpoint model near **1.77 µs/read** (~2 ns per checkpoint
+  access plus ~0.15 ns per scanned BWT character);
+* thread scaling ``s ≈ 0.003`` is fitted in
+  :mod:`repro.baseline.threading_model`;
+* the FPGA constants are in :mod:`repro.fpga.cost_model`.
+
+The PAPER_* dictionaries transcribe the paper's reported tables verbatim,
+so benches and ``EXPERIMENTS.md`` can print paper-vs-reproduction side by
+side without anyone re-reading the PDF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NativeCPUCostModel:
+    """Native-equivalent costs of the succinct (BWaveR CPU) search.
+
+    ``seconds(counts)`` expects an :class:`~repro.core.counters.OpCounters`
+    snapshot dict from a run over the *succinct* backend.
+    """
+
+    #: Base cost of one binary rank: superblock read + offset-stream read
+    #: + Global Rank Table lookup + loop setup. (~2-3 L1 hits.)
+    rank_base_ns: float = 1.0
+    #: One iteration of the class-summation loop (a 4-bit load + add; the
+    #: compiler vectorizes it, hence well below 1 cycle per element).
+    class_iter_ns: float = 0.30
+    #: Per backward-search step bookkeeping (interval update, bounds).
+    step_ns: float = 2.0
+    #: Per-query setup (fetch, reverse complement, result store).
+    query_ns: float = 20.0
+
+    def seconds(self, counts: dict[str, int]) -> float:
+        ns = (
+            counts.get("binary_ranks", 0) * self.rank_base_ns
+            + counts.get("class_sum_iterations", 0) * self.class_iter_ns
+            + counts.get("bs_steps", 0) * self.step_ns
+            + counts.get("queries", 0) * self.query_ns
+        )
+        return ns * 1e-9
+
+
+@dataclass(frozen=True)
+class NativeBowtie2CostModel:
+    """Native-equivalent costs of the checkpointed-Occ (Bowtie2) search."""
+
+    #: One checkpoint access (cache line read + address arithmetic).
+    checkpoint_ns: float = 2.0
+    #: One scanned BWT base between checkpoints (2-bit packed popcount
+    #: tricks process ~4-8 bases/cycle; 0.15 ns/base ≈ 3 bases/cycle).
+    scan_char_ns: float = 0.15
+    step_ns: float = 2.0
+    query_ns: float = 20.0
+
+    def seconds(self, counts: dict[str, int]) -> float:
+        ns = (
+            counts.get("occ_checkpoint_ranks", 0) * self.checkpoint_ns
+            + counts.get("occ_scan_chars", 0) * self.scan_char_ns
+            + counts.get("bs_steps", 0) * self.step_ns
+            + counts.get("queries", 0) * self.query_ns
+        )
+        return ns * 1e-9
+
+
+DEFAULT_CPU_MODEL = NativeCPUCostModel()
+DEFAULT_BOWTIE2_MODEL = NativeBowtie2CostModel()
+
+
+# ---------------------------------------------------------------------------
+# The paper's reported numbers, transcribed.
+# ---------------------------------------------------------------------------
+
+#: Table I — 100 M × 35 bp reads on the E. coli reference.  Times in ms.
+PAPER_TABLE1 = {
+    "workload": {"reads": 100_000_000, "read_length": 35, "reference": "ecoli"},
+    "times_ms": {
+        "fpga": 3_623,
+        "bwaver_cpu": 247_214,
+        "bowtie2_1t": 176_683,
+        "bowtie2_8t": 23_016,
+        "bowtie2_16t": 11_542,
+    },
+    "speedup_vs_fpga": {
+        "bwaver_cpu": 68.23,
+        "bowtie2_1t": 48.76,
+        "bowtie2_8t": 6.34,
+        "bowtie2_16t": 3.18,
+    },
+    "power_efficiency_vs_fpga": {
+        "bwaver_cpu": 368.43,
+        "bowtie2_1t": 263.32,
+        "bowtie2_8t": 34.3,
+        "bowtie2_16t": 17.2,
+    },
+}
+
+#: Table II — {1, 10, 100} M × 40 bp reads on the Chr 21 reference.
+PAPER_TABLE2 = {
+    "workload": {"read_length": 40, "reference": "chr21"},
+    "rows": {
+        1_000_000: {
+            "times_ms": {
+                "fpga": 242,
+                "bwaver_cpu": 3_302,
+                "bowtie2_1t": 1_891,
+                "bowtie2_8t": 344,
+                "bowtie2_16t": 180,
+            },
+            "speedup_vs_fpga": {
+                "bwaver_cpu": 13.62,
+                "bowtie2_1t": 7.78,
+                "bowtie2_8t": 1.41,
+                "bowtie2_16t": 0.74,
+            },
+        },
+        10_000_000: {
+            "times_ms": {
+                "fpga": 460,
+                "bwaver_cpu": 28_658,
+                "bowtie2_1t": 19_126,
+                "bowtie2_8t": 3_483,
+                "bowtie2_16t": 1_823,
+            },
+            "speedup_vs_fpga": {
+                "bwaver_cpu": 62.4,
+                "bowtie2_1t": 41.63,
+                "bowtie2_8t": 7.57,
+                "bowtie2_16t": 3.96,
+            },
+        },
+        100_000_000: {
+            "times_ms": {
+                "fpga": 3_783,
+                "bwaver_cpu": 266_253,
+                "bowtie2_1t": 192_075,
+                "bowtie2_8t": 35_969,
+                "bowtie2_16t": 18_575,
+            },
+            "speedup_vs_fpga": {
+                "bwaver_cpu": 70.39,
+                "bowtie2_1t": 50.77,
+                "bowtie2_8t": 9.51,
+                "bowtie2_16t": 4.91,
+            },
+        },
+    },
+}
+
+#: Fig. 5 anchor points — structure sizes the text states explicitly.
+PAPER_FIG5 = {
+    "ecoli": {
+        "uncompressed_mb": 4.64,
+        "b15_sf100_mb": 1.72,
+    },
+    "chr21": {
+        "uncompressed_mb": 40.1,
+        "b15_sf100_mb": 12.73,
+    },
+    "max_space_saving_percent": 68.3,
+}
+
+#: Fig. 6/7 are trend figures; the claims the harness checks:
+PAPER_TRENDS = {
+    "fig6": [
+        "encoding time grows with block size b",
+        "encoding time ~constant in superblock factor sf",
+    ],
+    "fig7": [
+        "mapping time grows with mapping ratio",
+        "mapping time independent of reference length",
+        "mapping time grows with b and sf",
+    ],
+    "table2": [
+        "FPGA speedup grows with read count (fixed BWT-load overhead)",
+    ],
+}
+
+
+def paper_scale_read_counts() -> dict[str, list[int]]:
+    """The read counts of the paper's tables (for the modeled columns)."""
+    return {"table1": [100_000_000], "table2": [1_000_000, 10_000_000, 100_000_000]}

@@ -1,0 +1,97 @@
+"""Profiling helpers: measure before optimizing.
+
+The repository's hot paths (RRR construction, batched rank, backward
+search) were shaped by profiler output, following the standard
+scientific-Python workflow — make it work, make it right, then profile
+a ~10 s representative case and attack the top of the table.  These
+helpers make that workflow one call, and the regression tests pin the
+expectation that the hot loops live in numpy, not in Python bytecode.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class ProfileEntry:
+    """One row of a profile table."""
+
+    function: str
+    calls: int
+    total_seconds: float
+    cumulative_seconds: float
+
+
+@dataclass(frozen=True)
+class ProfileResult:
+    """Outcome of a profiled call."""
+
+    wall_seconds: float
+    entries: tuple[ProfileEntry, ...]
+    return_value: object
+
+    def top(self, n: int = 10) -> tuple[ProfileEntry, ...]:
+        return self.entries[:n]
+
+    def total_in(self, substring: str) -> float:
+        """Total (self) seconds spent in functions whose name or file
+        contains ``substring``."""
+        return sum(e.total_seconds for e in self.entries if substring in e.function)
+
+    def render(self, n: int = 10) -> str:
+        lines = [f"wall: {self.wall_seconds:.3f}s — top {n} by self time:"]
+        for e in self.top(n):
+            lines.append(
+                f"  {e.total_seconds:8.3f}s  {e.calls:>9} calls  {e.function}"
+            )
+        return "\n".join(lines)
+
+
+def profile_call(fn: Callable, *args, **kwargs) -> ProfileResult:
+    """Run ``fn`` under cProfile and return a structured summary."""
+    profiler = cProfile.Profile()
+    t0 = time.perf_counter()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    wall = time.perf_counter() - t0
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    entries = []
+    for (filename, lineno, name), (cc, nc, tt, ct, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+        entries.append(
+            ProfileEntry(
+                function=f"{filename}:{lineno}({name})",
+                calls=int(nc),
+                total_seconds=float(tt),
+                cumulative_seconds=float(ct),
+            )
+        )
+    entries.sort(key=lambda e: -e.total_seconds)
+    return ProfileResult(
+        wall_seconds=wall, entries=tuple(entries), return_value=result
+    )
+
+
+def profile_mapping(index, reads, batch: bool = True) -> ProfileResult:
+    """Profile one mapping run (the workload worth profiling here)."""
+    from ..mapper.batch import run_mapping_batch
+
+    return profile_call(
+        run_mapping_batch, index, list(reads), keep_results=False, batch=batch
+    )
+
+
+def profile_build(text, **build_kwargs) -> ProfileResult:
+    """Profile an index build (suffix sort + encode)."""
+    from ..index.builder import build_index
+
+    return profile_call(build_index, text, **build_kwargs)

@@ -1,0 +1,323 @@
+"""Command-line interface: the BWaveR workflow without writing Python.
+
+Subcommands mirror the web workflow's stages plus the tooling a
+downstream user needs:
+
+``index``
+    FASTA (plain/gzip) → persisted ``.npz`` index (steps 1 + 2).
+``map``
+    index + FASTQ → hits TSV (step 3), on the CPU mapper or through the
+    simulated FPGA for the modeled-time report; streaming, constant
+    memory.
+``inspect``
+    Print an index's parameters, sizes, and validation report.
+``simulate``
+    Generate a synthetic reference FASTA and/or a mapping-ratio-
+    controlled FASTQ (the evaluation's workload generator).
+``serve``
+    Start the web application.
+
+Run ``python -m repro.cli <subcommand> --help`` for per-command options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    from .index.builder import build_index
+    from .index.serialization import save_index
+    from .io.fasta import read_fasta
+
+    records = read_fasta(args.fasta, on_invalid=args.on_invalid)
+    if not records:
+        print("error: reference FASTA contains no records", file=sys.stderr)
+        return 2
+    if len(records) > 1:
+        from .index.multiref import MultiReferenceIndex
+        from .index.serialization import save_multiref_index
+
+        print(
+            f"multi-sequence reference: {len(records)} records, "
+            f"{sum(r.length for r in records):,} bp total"
+        )
+        multi = MultiReferenceIndex(
+            records, b=args.block_size, sf=args.superblock_factor,
+            backend=args.backend,
+        )
+        save_multiref_index(multi, args.output)
+        report = multi.build_report
+        print(
+            f"built in {report.sa_bwt_seconds + report.encode_seconds:.2f}s; "
+            f"structure: {report.structure_bytes:,} B -> {args.output}"
+        )
+        return 0
+    rec = records[0]
+    if not rec.sequence:
+        print(f"error: reference {rec.name!r} has an empty sequence", file=sys.stderr)
+        return 2
+    print(f"reference {rec.name}: {rec.length:,} bp")
+    index, report = build_index(
+        rec.sequence,
+        b=args.block_size,
+        sf=args.superblock_factor,
+        backend=args.backend,
+        locate=args.locate,
+    )
+    save_index(index, args.output)
+    print(
+        f"built in {report.sa_bwt_seconds + report.encode_seconds:.2f}s "
+        f"(SA+BWT {report.sa_bwt_seconds:.2f}s, encode {report.encode_seconds:.3f}s)"
+    )
+    print(
+        f"structure: {report.structure_bytes:,} B "
+        f"({report.space_saving_percent:.1f}% saved vs 1 B/char) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from .fpga.accelerator import FPGAAccelerator
+    from .index.serialization import load_index
+    from .io.fasta import _open_text
+    from .io.fastq import parse_fastq
+    from .mapper.stream import map_fastq_to_tsv
+
+    # Multi-reference archives route through the multiref mapper.
+    import json as _json
+
+    import numpy as _np
+
+    with _np.load(args.index) as _data:
+        _meta = _json.loads(bytes(_data["meta_json"]).decode("utf-8"))
+    if _meta.get("multiref"):
+        return _map_multiref(args)
+
+    index = load_index(args.index)
+    if args.device == "fpga":
+        # FPGA path: functional kernel + modeled time, then host locate.
+        with _open_text(args.fastq) as fh:
+            reads = [r.sequence for r in parse_fastq(fh)]
+        acc = FPGAAccelerator.for_index(index)
+        run = acc.map_batch(reads, batch_size=args.batch_size)
+        print(
+            f"simulated FPGA: {run.n_reads} reads, "
+            f"modeled {run.modeled_seconds * 1e3:.2f} ms "
+            f"(load {run.modeled_load_seconds * 1e3:.2f} ms), "
+            f"energy {run.energy_joules:.3f} J, "
+            f"mapping ratio {run.mapping_ratio:.2f}"
+        )
+
+    if args.format == "sam":
+        import time
+
+        from .mapper.mapper import Mapper
+        from .mapper.sam import write_sam_single
+
+        with _open_text(args.fastq) as fh:
+            records = list(parse_fastq(fh))
+        reads = [r.sequence for r in records]
+        t0 = time.perf_counter()
+        results = Mapper(index, locate=True).map_reads(
+            reads, names=[r.name for r in records]
+        )
+        wall = time.perf_counter() - t0
+        with open(args.output, "w") as out:
+            write_sam_single(
+                results, reads, out, reference_name=args.reference_name,
+                reference_length=index.n_rows - 1,
+            )
+        n_mapped = sum(1 for r in results if r.mapped)
+        n_reads = len(reads)
+    else:
+        with open(args.output, "w") as out, _open_text(args.fastq) as fh:
+            summary = map_fastq_to_tsv(
+                index,
+                (r.sequence for r in parse_fastq(fh)),
+                out,
+                batch_size=args.batch_size,
+            )
+        n_mapped, n_reads, wall = summary.n_mapped, summary.n_reads, summary.wall_seconds
+    print(
+        f"mapped {n_mapped}/{n_reads} reads "
+        f"in {wall:.2f}s host time -> {args.output}"
+    )
+    return 0
+
+
+def _map_multiref(args: argparse.Namespace) -> int:
+    """Map against a multi-sequence archive (per-chromosome coordinates)."""
+    from .index.serialization import load_multiref_index
+    from .io.fasta import _open_text
+    from .io.fastq import parse_fastq
+    from .mapper.sam import write_sam_multiref
+
+    multi = load_multiref_index(args.index)
+    with _open_text(args.fastq) as fh:
+        records = list(parse_fastq(fh))
+    reads = [r.sequence for r in records]
+    names = [r.name for r in records]
+    if args.format == "sam":
+        with open(args.output, "w") as out:
+            write_sam_multiref(multi, reads, out, read_names=names)
+        mapped = None
+    else:
+        mapped = 0
+        with open(args.output, "w") as out:
+            out.write("read\tsequence\tposition\tstrand\n")
+            for name, read in zip(names, reads):
+                mapping = multi.map_read(read)
+                if mapping.mapped:
+                    mapped += 1
+                    for hit in mapping.hits:
+                        out.write(f"{name}\t{hit.name}\t{hit.position}\t{hit.strand}\n")
+                else:
+                    out.write(f"{name}\t.\t.\t.\n")
+    suffix = f", {mapped}/{len(reads)} mapped" if mapped is not None else ""
+    print(
+        f"mapped {len(reads)} reads against {multi.n_sequences} sequences"
+        f"{suffix} -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from .core.bwt_structure import BWTStructure
+    from .index.serialization import load_index
+    from .index.validate import IndexValidationError, validate_index
+
+    index = load_index(args.index)
+    backend = index.backend
+    print(f"index: {args.index}")
+    print(f"  backend: {type(backend).__name__}")
+    print(f"  matrix rows: {backend.n_rows:,} (text {backend.n_rows - 1:,} bp)")
+    if isinstance(backend, BWTStructure):
+        print(f"  RRR parameters: b={backend.b}, sf={backend.sf}")
+        print(f"  wavelet nodes: {len(backend.tree.nodes())}, depth {backend.tree.depth()}")
+    print(f"  structure bytes: {backend.size_in_bytes():,}")
+    if index.locate_structure is not None:
+        print(
+            f"  locate: {type(index.locate_structure).__name__}, "
+            f"{index.locate_structure.size_in_bytes():,} B"
+        )
+    if args.validate:
+        try:
+            report = validate_index(index, samples=args.samples)
+        except IndexValidationError as exc:
+            print(f"  VALIDATION FAILED: {exc}", file=sys.stderr)
+            return 1
+        print(f"  validation: OK ({', '.join(report.checks)})")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .io.fasta import FastaRecord, read_fasta, write_fasta
+    from .io.fastq import write_fastq
+    from .io.readsim import simulate_reads
+    from .io.refgen import CHR21_LIKE, E_COLI_LIKE, generate_reference
+
+    profiles = {"ecoli": E_COLI_LIKE, "chr21": CHR21_LIKE}
+    if args.reference_out:
+        ref = generate_reference(profiles[args.profile], scale=args.scale, seed=args.seed)
+        write_fasta(
+            [FastaRecord(f"synthetic_{args.profile}", "generated", ref)],
+            args.reference_out,
+            compress=str(args.reference_out).endswith(".gz"),
+        )
+        print(f"reference: {len(ref):,} bp -> {args.reference_out}")
+    else:
+        if not args.reference_in:
+            print("error: need --reference-out or --reference-in", file=sys.stderr)
+            return 2
+        ref = read_fasta(args.reference_in)[0].sequence
+    if args.reads_out:
+        readset = simulate_reads(
+            ref,
+            n_reads=args.n_reads,
+            read_length=args.read_length,
+            mapping_ratio=args.mapping_ratio,
+            seed=args.seed + 1,
+        )
+        write_fastq(
+            readset.to_fastq(),
+            args.reads_out,
+            compress=str(args.reads_out).endswith(".gz"),
+        )
+        print(
+            f"reads: {readset.n_reads} x {args.read_length} bp at ratio "
+            f"{readset.mapping_ratio:.2f} -> {args.reads_out}"
+        )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .web.server import serve
+
+    serve(host=args.host, port=args.port)
+    return 0  # pragma: no cover - serve() blocks
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bwaver-repro",
+        description="BWaveR reproduction: succinct DNA sequence mapping",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("index", help="build an index from a FASTA reference")
+    p.add_argument("fasta", type=Path)
+    p.add_argument("-o", "--output", type=Path, required=True)
+    p.add_argument("-b", "--block-size", type=int, default=15)
+    p.add_argument("-s", "--superblock-factor", type=int, default=50)
+    p.add_argument("--backend", choices=["rrr", "occ"], default="rrr")
+    p.add_argument("--locate", choices=["full", "sampled", "none"], default="full")
+    p.add_argument("--on-invalid", choices=["error", "skip", "random"], default="error")
+    p.set_defaults(func=_cmd_index)
+
+    p = sub.add_parser("map", help="map a FASTQ read set against an index")
+    p.add_argument("index", type=Path)
+    p.add_argument("fastq", type=Path)
+    p.add_argument("-o", "--output", type=Path, required=True)
+    p.add_argument("--device", choices=["cpu", "fpga"], default="cpu")
+    p.add_argument("--batch-size", type=int, default=2048)
+    p.add_argument("--format", choices=["tsv", "sam"], default="tsv")
+    p.add_argument("--reference-name", default="ref")
+    p.set_defaults(func=_cmd_map)
+
+    p = sub.add_parser("inspect", help="print index parameters and validate")
+    p.add_argument("index", type=Path)
+    p.add_argument("--validate", action="store_true")
+    p.add_argument("--samples", type=int, default=64)
+    p.set_defaults(func=_cmd_inspect)
+
+    p = sub.add_parser("simulate", help="generate synthetic references/reads")
+    p.add_argument("--profile", choices=["ecoli", "chr21"], default="ecoli")
+    p.add_argument("--scale", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--reference-out", type=Path)
+    p.add_argument("--reference-in", type=Path)
+    p.add_argument("--reads-out", type=Path)
+    p.add_argument("--n-reads", type=int, default=1000)
+    p.add_argument("--read-length", type=int, default=100)
+    p.add_argument("--mapping-ratio", type=float, default=1.0)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("serve", help="start the web application")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080)
+    p.set_defaults(func=_cmd_serve)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

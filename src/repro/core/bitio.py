@@ -1,0 +1,118 @@
+"""Variable-width bit stream used by the RRR offset bit-vector.
+
+The RRR *offset* array is a concatenation of fields whose widths differ
+per block (``ceil(log2(C(b, class)))`` bits).  This module provides a
+vectorized packer for construction and both scalar and vectorized readers
+for queries.
+
+Bit order matches the rest of :mod:`repro.core`: the stream is LSB-first
+within 64-bit words, i.e. the first bit written is bit 0 of word 0, and a
+field's least-significant bit is stored first.  A field of width ``w``
+starting at bit position ``s`` therefore spans at most two words, which
+the readers exploit (the FPGA kernel does the same two-BRAM-read trick).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+WORD_BITS = 64
+_U64_ONE = np.uint64(1)
+
+
+def pack_fields(values: np.ndarray, widths: np.ndarray) -> tuple[np.ndarray, int]:
+    """Pack ``values[i]`` into ``widths[i]`` bits each, concatenated.
+
+    Returns ``(words, total_bits)``.  Zero-width fields contribute nothing
+    (their value must be 0).  Fully vectorized: fields are exploded to a
+    flat bit array once, then packed with ``np.packbits``.
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    widths = np.asarray(widths, dtype=np.int64)
+    if values.shape != widths.shape:
+        raise ValueError("values and widths must have the same shape")
+    if widths.size and widths.min() < 0:
+        raise ValueError("field widths must be non-negative")
+    if np.any((widths == 0) & (values != 0)):
+        raise ValueError("zero-width fields must carry value 0")
+    wmax = int(widths.max()) if widths.size else 0
+    if wmax > 63:
+        raise ValueError("field widths above 63 bits are not supported")
+    total_bits = int(widths.sum())
+    if total_bits == 0:
+        return np.zeros(0, dtype=np.uint64), 0
+    # Explode each value into wmax bits then keep the first widths[i] of each.
+    bit_idx = np.arange(wmax, dtype=np.uint64)
+    bits = ((values[:, None] >> bit_idx[None, :]) & _U64_ONE).astype(np.uint8)
+    keep = bit_idx[None, :] < widths[:, None].astype(np.uint64)
+    flat = bits[keep]  # row-major: value 0's bits first, LSB-first
+    n_words = (total_bits + WORD_BITS - 1) // WORD_BITS
+    padded = np.zeros(n_words * WORD_BITS, dtype=np.uint8)
+    padded[:total_bits] = flat
+    return np.packbits(padded, bitorder="little").view(np.uint64), total_bits
+
+
+def read_field(words: np.ndarray, start_bit: int, width: int) -> int:
+    """Read one field of ``width`` bits starting at ``start_bit``."""
+    if width == 0:
+        return 0
+    if width > 63:
+        raise ValueError("field widths above 63 bits are not supported")
+    w, r = divmod(start_bit, WORD_BITS)
+    lo = int(words[w]) >> r
+    got = WORD_BITS - r
+    if got < width:
+        lo |= int(words[w + 1]) << got
+    return lo & ((1 << width) - 1)
+
+
+def read_fields(words: np.ndarray, start_bits: np.ndarray, widths: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`read_field` over many (start, width) pairs."""
+    start_bits = np.asarray(start_bits, dtype=np.int64)
+    widths = np.asarray(widths, dtype=np.int64)
+    # Zero-width fields perform no memory access; point them at word 0 so
+    # the gather below stays in bounds even when their nominal start sits
+    # exactly at the end of the stream.
+    w, r = np.divmod(np.where(widths > 0, start_bits, 0), WORD_BITS)
+    # Guard: a field ending at the stream's last bit still gathers w+1
+    # (np.where evaluates both branches), and an all-zero-width stream has
+    # no words at all; two zero pad words make every gather defined.
+    padded = np.concatenate([words, np.zeros(2, dtype=np.uint64)])
+    r_u = r.astype(np.uint64)
+    lo = padded[w] >> r_u
+    got = (WORD_BITS - r).astype(np.int64)
+    hi_shift = np.minimum(got, 63).astype(np.uint64)
+    hi = np.where(got < 64, padded[w + 1] << hi_shift, np.uint64(0))
+    raw = lo | hi
+    mask = np.where(
+        widths > 0,
+        (np.uint64(1) << widths.astype(np.uint64)) - _U64_ONE,
+        np.uint64(0),
+    )
+    return (raw & mask).astype(np.int64)
+
+
+class BitWriter:
+    """Incremental scalar writer (used by tests as the packing oracle)."""
+
+    def __init__(self) -> None:
+        self._bits: list[int] = []
+
+    def write(self, value: int, width: int) -> None:
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if value < 0 or (width < 64 and value >> width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for i in range(width):
+            self._bits.append((value >> i) & 1)
+
+    @property
+    def bit_length(self) -> int:
+        return len(self._bits)
+
+    def to_words(self) -> tuple[np.ndarray, int]:
+        n = len(self._bits)
+        n_words = (n + WORD_BITS - 1) // WORD_BITS
+        padded = np.zeros(n_words * WORD_BITS, dtype=np.uint8)
+        padded[:n] = self._bits
+        return np.packbits(padded, bitorder="little").view(np.uint64), n

@@ -1,0 +1,120 @@
+"""Operation-count instrumentation shared by every query structure.
+
+BWaveR's evaluation compares a hardware pipeline against software baselines.
+Because this reproduction executes the data structures in pure Python, wall
+clock alone cannot reproduce the paper's ratios (Python is two to three
+orders of magnitude slower than the authors' C++/HLS code).  Instead, every
+structure in :mod:`repro.core` counts the primitive operations it performs,
+and the analytic cost models in :mod:`repro.fpga.cost_model` and
+:mod:`repro.bench.calibration` convert those counts into native-equivalent
+or FPGA-cycle time.  The *workload behaviour* (early termination of
+unmapped reads, number of class-sum iterations per rank, wavelet-tree
+depth) is therefore real and measured; only per-operation costs are model
+constants.
+
+The counters are deliberately cheap (plain ``int`` attributes, no locks):
+they are bumped on scalar query paths only, never inside the vectorized
+construction kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class OpCounters:
+    """Tally of primitive operations executed by the succinct structures.
+
+    Attributes
+    ----------
+    binary_ranks:
+        Number of binary (single bit-vector) rank queries answered.  Each
+        wavelet-tree rank issues ``log2(sigma)`` of these.
+    class_sum_iterations:
+        Total iterations of the RRR class-summation loop (Algorithm 1's
+        ``for`` loops).  Bounded by ``sf`` per binary rank; this is the
+        quantity the superblock factor trades against space.
+    table_lookups:
+        Global Rank Table (permutation array) reads.
+    superblock_reads:
+        Partial-sum / offset-sum array reads.
+    offset_reads:
+        Variable-width reads from the offset bit-vector.
+    wt_ranks:
+        Wavelet-tree (symbol) rank queries.
+    bs_steps:
+        Backward-search steps executed (one per consumed query symbol).
+    queries:
+        Query sequences processed (a read and its reverse complement count
+        as two).
+    occ_checkpoint_ranks:
+        Rank queries answered by the checkpointed Occ-table baseline.
+    occ_scan_chars:
+        BWT characters scanned between checkpoints by that baseline.
+    """
+
+    binary_ranks: int = 0
+    class_sum_iterations: int = 0
+    table_lookups: int = 0
+    superblock_reads: int = 0
+    offset_reads: int = 0
+    wt_ranks: int = 0
+    bs_steps: int = 0
+    queries: int = 0
+    occ_checkpoint_ranks: int = 0
+    occ_scan_chars: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """Return the current counts as a plain dict."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def merge(self, other: "OpCounters") -> None:
+        """Accumulate ``other``'s counts into this instance."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def __add__(self, other: "OpCounters") -> "OpCounters":
+        out = OpCounters()
+        out.merge(self)
+        out.merge(other)
+        return out
+
+    def diff(self, before: dict[str, int]) -> dict[str, int]:
+        """Counts accrued since a prior :meth:`snapshot`."""
+        return {k: getattr(self, k) - v for k, v in before.items()}
+
+
+@dataclass
+class CounterScope:
+    """Context manager capturing the counts accrued inside a ``with`` block.
+
+    Example
+    -------
+    >>> counters = OpCounters()
+    >>> with CounterScope(counters) as scope:
+    ...     counters.bs_steps += 3
+    >>> scope.delta["bs_steps"]
+    3
+    """
+
+    counters: OpCounters
+    delta: dict[str, int] = field(default_factory=dict)
+    _before: dict[str, int] = field(default_factory=dict)
+
+    def __enter__(self) -> "CounterScope":
+        self._before = self.counters.snapshot()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.delta = self.counters.diff(self._before)
+
+
+#: Module-level counters used by structures created without an explicit
+#: ``counters=`` argument.  Benches reset this before each measured region.
+GLOBAL_COUNTERS = OpCounters()

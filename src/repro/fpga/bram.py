@@ -1,0 +1,93 @@
+"""On-chip memory model: banked BRAM with 512-bit ports.
+
+The kernel's data — RRR classes, partial sums, offset stream, the shared
+Global Rank Table, and the C array — live in on-chip memory, partitioned
+into banks so the dual search pipelines read without port conflicts.
+This model tracks *placement* (which array goes to which bank, with
+capacity accounting against the device pool) and *traffic* (reads per
+bank), which the cycle model and the tests consume:
+
+* placement failures surface as :class:`~repro.fpga.device.CapacityError`
+  before any query runs — the simulated analogue of a design that fails
+  to fit at synthesis;
+* traffic counts let tests assert the kernel's memory behaviour (e.g.
+  one partial-sum read and at most ``sf`` class reads per binary rank)
+  without timing anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .device import ALVEO_U200, CapacityError, DeviceSpec
+
+
+@dataclass
+class BramBank:
+    """One named bank holding one logical array."""
+
+    name: str
+    size_bytes: int
+    reads: int = 0
+    writes: int = 0
+
+    def read(self, count: int = 1) -> None:
+        self.reads += count
+
+    def write(self, count: int = 1) -> None:
+        self.writes += count
+
+
+@dataclass
+class BramModel:
+    """Bank allocator + traffic ledger for one kernel instance."""
+
+    spec: DeviceSpec = field(default_factory=lambda: ALVEO_U200)
+    margin: float = 0.85
+    banks: dict[str, BramBank] = field(default_factory=dict)
+
+    def allocate(self, name: str, size_bytes: int) -> BramBank:
+        """Place an array; raises :class:`CapacityError` when the pool
+        (at ``margin``) would overflow."""
+        if name in self.banks:
+            raise ValueError(f"bank {name!r} already allocated")
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
+        usable = int(self.spec.on_chip_bytes * self.margin)
+        if self.allocated_bytes + size_bytes > usable:
+            raise CapacityError(
+                f"allocating {size_bytes / 1e6:.2f} MB for {name!r} would "
+                f"exceed the {usable / 1e6:.1f} MB usable on-chip pool "
+                f"({self.allocated_bytes / 1e6:.2f} MB already placed)"
+            )
+        bank = BramBank(name=name, size_bytes=size_bytes)
+        self.banks[name] = bank
+        return bank
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(b.size_bytes for b in self.banks.values())
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the raw on-chip pool in use."""
+        if self.spec.on_chip_bytes == 0:
+            return 0.0
+        return self.allocated_bytes / self.spec.on_chip_bytes
+
+    def total_reads(self) -> int:
+        return sum(b.reads for b in self.banks.values())
+
+    def traffic(self) -> dict[str, tuple[int, int]]:
+        """Per-bank ``(reads, writes)`` snapshot."""
+        return {name: (b.reads, b.writes) for name, b in self.banks.items()}
+
+    def reset_traffic(self) -> None:
+        for b in self.banks.values():
+            b.reads = 0
+            b.writes = 0
+
+    def load_bursts(self) -> int:
+        """512-bit bursts needed to initialize all placed arrays."""
+        per = self.spec.port_bytes
+        return sum((b.size_bytes + per - 1) // per for b in self.banks.values())

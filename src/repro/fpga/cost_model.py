@@ -1,0 +1,127 @@
+"""Analytic cycle model for the simulated accelerator.
+
+The Python kernel in :mod:`repro.fpga.kernel` is *functionally* exact but
+obviously cannot be timed as hardware.  This model converts the kernel's
+measured workload statistics into modeled device time, the same way an
+HLS performance estimate converts trip counts into latency:
+
+* the backward-search datapath is **deeply pipelined with initiation
+  interval 1**: with many queries in flight, each lane retires one
+  backward-search *step* (one Occ pair, via ``2·log2|Σ|`` parallel binary
+  ranks — the dual-strand pipelines and the per-level rank units are
+  spatially replicated, so a step is one pipeline slot regardless of
+  ``sf``, which affects *latency*, hidden by pipelining, not throughput);
+* the kernel instantiates ``lanes`` such pipelines (the paper's single
+  "core" already processes the read and its reverse complement in
+  parallel; lanes model the additional query-level parallelism the
+  datapath's BRAM banking affords);
+* loading the BWT structure into BRAM is a **fixed overhead**
+  proportional to the structure size — the amortization the paper calls
+  out in Table II ("the load of the BWT structure introduces a fixed
+  overhead ... regardless of the number of reads");
+* PCIe transfers of query records (64 B each) and result records (16 B
+  each) overlap the kernel (OpenCL double-buffering), so wall time takes
+  the max of compute and transfer, after the load.
+
+Calibration (see also ``DESIGN.md`` §4): ``lanes=4``, ``clock=300 MHz``,
+``per_read_overhead_cycles=3`` and ``bram_init_bytes_per_sec=64 MB/s``
+reproduce the paper's Table I/II FPGA columns to within ~15 % at the
+paper's workload sizes; the constants are exposed, printed by every
+bench, and swept by the sensitivity ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .device import ALVEO_U200, DeviceSpec
+
+
+@dataclass(frozen=True)
+class FPGACostModel:
+    """Per-operation cost constants of the simulated device."""
+
+    spec: DeviceSpec = ALVEO_U200
+    lanes: int = 4
+    initiation_interval: int = 1
+    per_read_overhead_cycles: int = 3
+    bram_init_bytes_per_sec: float = 64e6
+    pcie_bytes_per_sec: float = 10e9
+    query_record_bytes: int = 64
+    result_record_bytes: int = 16
+
+    def __post_init__(self):
+        if self.lanes < 1 or self.initiation_interval < 1:
+            raise ValueError("lanes and initiation interval must be >= 1")
+
+    def with_lanes(self, lanes: int) -> "FPGACostModel":
+        """The multi-core future-work variant: more replicated pipelines."""
+        return replace(self, lanes=lanes)
+
+    # -- component times ---------------------------------------------------
+
+    def load_seconds(self, structure_bytes: int) -> float:
+        """Fixed BWT-structure load overhead (BRAM initialization)."""
+        return structure_bytes / self.bram_init_bytes_per_sec
+
+    def transfer_seconds(self, n_reads: int) -> float:
+        """Query upload + result download over PCIe."""
+        total = n_reads * (self.query_record_bytes + self.result_record_bytes)
+        return total / self.pcie_bytes_per_sec
+
+    def kernel_cycles(self, hw_steps_total: int, n_reads: int) -> int:
+        """Datapath cycles: II per step per lane, plus per-read drain."""
+        step_cycles = hw_steps_total * self.initiation_interval
+        overhead = n_reads * self.per_read_overhead_cycles
+        return (step_cycles + overhead + self.lanes - 1) // self.lanes
+
+    def kernel_seconds(self, hw_steps_total: int, n_reads: int) -> float:
+        return self.kernel_cycles(hw_steps_total, n_reads) / self.spec.clock_hz
+
+    # -- composed run time ---------------------------------------------------
+
+    def run_seconds(
+        self,
+        structure_bytes: int,
+        hw_steps_total: int,
+        n_reads: int,
+        include_load: bool = True,
+    ) -> float:
+        """End-to-end modeled time for one mapping run.
+
+        Transfers overlap compute (double-buffered command queue); the
+        structure load cannot overlap (queries need the structure
+        resident), matching the paper's fixed-overhead observation.
+        """
+        compute = self.kernel_seconds(hw_steps_total, n_reads)
+        transfer = self.transfer_seconds(n_reads)
+        body = max(compute, transfer)
+        return (self.load_seconds(structure_bytes) if include_load else 0.0) + body
+
+    def run_report(
+        self,
+        structure_bytes: int,
+        hw_steps_total: int,
+        n_reads: int,
+    ) -> dict[str, float]:
+        """Component breakdown, for bench output and the tests."""
+        load = self.load_seconds(structure_bytes)
+        compute = self.kernel_seconds(hw_steps_total, n_reads)
+        transfer = self.transfer_seconds(n_reads)
+        total = load + max(compute, transfer)
+        return {
+            "load_seconds": load,
+            "kernel_seconds": compute,
+            "transfer_seconds": transfer,
+            "total_seconds": total,
+            "transfer_hidden": float(transfer <= compute),
+            "reads_per_second": n_reads / total if total > 0 else float("inf"),
+        }
+
+    def energy_joules(self, seconds: float) -> float:
+        """Board energy at the paper's flat 25 W reference."""
+        return seconds * self.spec.board_power_watts
+
+
+#: Default calibrated instance used throughout the harness.
+DEFAULT_COST_MODEL = FPGACostModel()

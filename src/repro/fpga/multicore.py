@@ -1,0 +1,97 @@
+"""Multi-core scaling model (paper §V future work, ablation C).
+
+The paper's future work proposes "leverag[ing] the FPGA's parallelism to
+develop a multi-core architecture where multiple DNA fragments are mapped
+at the same time".  In the cost model a "core" is a replicated search
+pipeline (a *lane*).  Replication is bounded by two resources:
+
+* **on-chip memory ports** — all lanes share one copy of the BWT
+  structure; true multi-porting of BRAM tops out at two physical ports,
+  beyond which arrays must be duplicated or banked.  We model a
+  cyclically-banked structure giving ``PORTS_PER_BANK_GROUP`` conflict-
+  free accesses per cycle per bank group; lanes beyond the port budget
+  contend and scale sub-linearly;
+* **logic area** — each lane costs LUTs/FFs; a utilization cap limits
+  lane count outright.
+
+:func:`scaling_curve` produces throughput versus lane count under this
+model — linear at first, sub-linear past the port budget, capped at the
+area limit — the curve ``bench_ablation_multicore.py`` prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cost_model import FPGACostModel
+
+
+@dataclass(frozen=True)
+class MulticoreModel:
+    """Resource bounds governing lane replication."""
+
+    #: Conflict-free concurrent rank units the banked structure supports.
+    port_budget: int = 8
+    #: Contention throughput factor per doubling beyond the port budget.
+    contention_factor: float = 0.65
+    #: Hard lane cap from logic area.
+    max_lanes: int = 32
+
+    def effective_lanes(self, lanes: int) -> float:
+        """Throughput-equivalent lane count under port contention."""
+        if lanes < 1:
+            raise ValueError("lanes must be >= 1")
+        if lanes > self.max_lanes:
+            raise ValueError(
+                f"{lanes} lanes exceed the area cap of {self.max_lanes}"
+            )
+        if lanes <= self.port_budget:
+            return float(lanes)
+        # Beyond the port budget each extra lane contributes at the
+        # contention-degraded rate.
+        extra = lanes - self.port_budget
+        return self.port_budget + extra * self.contention_factor
+
+    def modeled_seconds(
+        self,
+        base_model: FPGACostModel,
+        lanes: int,
+        structure_bytes: int,
+        hw_steps_total: int,
+        n_reads: int,
+    ) -> float:
+        """Run time with ``lanes`` replicated pipelines.
+
+        The structure load and PCIe transfers do not parallelize; only
+        kernel compute divides by the effective lane count.
+        """
+        eff = self.effective_lanes(lanes)
+        one_lane = base_model.with_lanes(1)
+        compute = one_lane.kernel_seconds(hw_steps_total, n_reads) / eff
+        transfer = base_model.transfer_seconds(n_reads)
+        return base_model.load_seconds(structure_bytes) + max(compute, transfer)
+
+
+def scaling_curve(
+    base_model: FPGACostModel,
+    structure_bytes: int,
+    hw_steps_total: int,
+    n_reads: int,
+    lane_counts: tuple[int, ...] = (1, 2, 4, 8, 16),
+    multicore: MulticoreModel | None = None,
+) -> list[dict[str, float]]:
+    """Throughput table across lane counts (speedup vs one lane)."""
+    mc = multicore if multicore is not None else MulticoreModel()
+    base = mc.modeled_seconds(base_model, 1, structure_bytes, hw_steps_total, n_reads)
+    rows = []
+    for lanes in lane_counts:
+        t = mc.modeled_seconds(base_model, lanes, structure_bytes, hw_steps_total, n_reads)
+        rows.append(
+            {
+                "lanes": float(lanes),
+                "seconds": t,
+                "speedup_vs_1": base / t if t > 0 else float("inf"),
+                "reads_per_second": n_reads / t if t > 0 else float("inf"),
+            }
+        )
+    return rows

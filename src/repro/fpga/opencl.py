@@ -1,0 +1,187 @@
+"""OpenCL-like host runtime with profiling events.
+
+The paper benchmarks "using the OpenCL *events* that provide an easy to
+use API to profile the code that runs on the FPGA device".  This module
+reproduces that measurement surface for the simulated device: a context,
+buffers, an in-order command queue, and events carrying the four OpenCL
+profiling timestamps (``QUEUED``/``SUBMIT``/``START``/``END``, in
+nanoseconds of modeled device time).
+
+The queue maintains a modeled device timeline: each enqueued command
+starts when the previous one ends (in-order queue) and lasts its modeled
+duration from :class:`~repro.fpga.cost_model.FPGACostModel`.  The harness
+then reads kernel time exactly the way the paper does::
+
+    event = queue.enqueue_kernel(...)
+    queue.finish()
+    seconds = (event.profile_end - event.profile_start) / 1e9
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable
+
+import numpy as np
+
+from .cost_model import DEFAULT_COST_MODEL, FPGACostModel
+from .device import ALVEO_U200, DeviceSpec
+
+
+class CommandType(Enum):
+    """The three command kinds an in-order device queue executes."""
+
+    WRITE_BUFFER = "write_buffer"
+    READ_BUFFER = "read_buffer"
+    KERNEL = "kernel"
+
+
+class CLError(RuntimeError):
+    """Runtime misuse (released buffers, size mismatches, ...)."""
+
+
+@dataclass
+class Event:
+    """Profiling record of one enqueued command (timestamps in ns)."""
+
+    command: CommandType
+    profile_queued: int = 0
+    profile_submit: int = 0
+    profile_start: int = 0
+    profile_end: int = 0
+    _payload: object = None
+
+    @property
+    def duration_seconds(self) -> float:
+        return (self.profile_end - self.profile_start) / 1e9
+
+    def wait(self) -> object:
+        """Block until complete (a no-op on the modeled timeline) and
+        return the command's payload (e.g. a kernel's result)."""
+        return self._payload
+
+
+class Buffer:
+    """A device buffer of fixed byte size."""
+
+    _ids = itertools.count()
+
+    def __init__(self, context: "Context", size_bytes: int):
+        if size_bytes < 0:
+            raise CLError("buffer size must be non-negative")
+        self.context = context
+        self.size_bytes = int(size_bytes)
+        self.buffer_id = next(self._ids)
+        self._data: np.ndarray | None = None
+        self._released = False
+
+    def release(self) -> None:
+        self._data = None
+        self._released = True
+
+    def fill_from_device(self, data: np.ndarray) -> None:
+        """Populate the buffer as a kernel side effect (no PCIe transfer —
+        the kernel writes device memory directly; only a subsequent
+        ``enqueue_read_buffer`` costs timeline time)."""
+        self._check()
+        data = np.asarray(data)
+        if data.nbytes > self.size_bytes:
+            raise CLError(
+                f"device write of {data.nbytes} B exceeds buffer size "
+                f"{self.size_bytes} B"
+            )
+        self._data = data.copy()
+
+    def _check(self) -> None:
+        if self._released:
+            raise CLError(f"buffer {self.buffer_id} used after release")
+
+
+class Context:
+    """Owns a device and its buffers."""
+
+    def __init__(self, spec: DeviceSpec = ALVEO_U200):
+        self.spec = spec
+        self.buffers: list[Buffer] = []
+
+    def create_buffer(self, size_bytes: int) -> Buffer:
+        buf = Buffer(self, size_bytes)
+        self.buffers.append(buf)
+        return buf
+
+
+@dataclass
+class CommandQueue:
+    """In-order queue over a modeled device timeline."""
+
+    context: Context
+    cost_model: FPGACostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
+    profiling: bool = True
+    device_time_ns: int = 0
+    events: list[Event] = field(default_factory=list)
+
+    def _schedule(self, command: CommandType, duration_s: float, payload=None) -> Event:
+        ev = Event(command=command, _payload=payload)
+        if self.profiling:
+            ev.profile_queued = self.device_time_ns
+            ev.profile_submit = self.device_time_ns
+            ev.profile_start = self.device_time_ns
+            self.device_time_ns += max(0, int(round(duration_s * 1e9)))
+            ev.profile_end = self.device_time_ns
+        self.events.append(ev)
+        return ev
+
+    def enqueue_write_buffer(self, buf: Buffer, data: np.ndarray,
+                             bytes_per_sec: float | None = None) -> Event:
+        """Host → device transfer at PCIe (or an explicit) bandwidth."""
+        buf._check()
+        data = np.asarray(data)
+        if data.nbytes > buf.size_bytes:
+            raise CLError(
+                f"write of {data.nbytes} B exceeds buffer size {buf.size_bytes} B"
+            )
+        buf._data = data.copy()
+        bw = bytes_per_sec if bytes_per_sec is not None else self.cost_model.pcie_bytes_per_sec
+        return self._schedule(CommandType.WRITE_BUFFER, data.nbytes / bw)
+
+    def enqueue_read_buffer(self, buf: Buffer) -> Event:
+        """Device → host transfer; payload is the buffer contents."""
+        buf._check()
+        if buf._data is None:
+            raise CLError(f"buffer {buf.buffer_id} read before any write")
+        nbytes = buf._data.nbytes
+        ev = self._schedule(
+            CommandType.READ_BUFFER,
+            nbytes / self.cost_model.pcie_bytes_per_sec,
+            payload=buf._data.copy(),
+        )
+        return ev
+
+    def enqueue_kernel(
+        self,
+        fn: Callable[[], object],
+        modeled_seconds_of: Callable[[object], float],
+    ) -> Event:
+        """Run ``fn`` (the functional kernel) and advance the timeline by
+        the cost model's estimate of its hardware duration.
+
+        ``modeled_seconds_of`` maps the kernel's return value (which
+        carries workload statistics) to modeled seconds — duration can
+        depend on what the kernel actually did (early termination!).
+        """
+        result = fn()
+        return self._schedule(CommandType.KERNEL, modeled_seconds_of(result), payload=result)
+
+    def finish(self) -> int:
+        """Drain the queue; returns the modeled completion time (ns)."""
+        return self.device_time_ns
+
+    def total_profiled_seconds(self, command: CommandType | None = None) -> float:
+        """Sum of event durations, optionally filtered by command type."""
+        return sum(
+            e.duration_seconds
+            for e in self.events
+            if command is None or e.command == command
+        )

@@ -1,0 +1,89 @@
+"""Cycle-faithful dual-pipeline execution of a single query.
+
+:class:`DualPipeline` is the scalar, stepwise counterpart of the batch
+kernel: it advances the forward and reverse-complement searches **in
+lockstep**, one backward-search step per tick per strand, exactly as the
+paper describes ("the backward search for X and X̄ is executed in
+parallel").  A strand whose interval empties — or whose pattern is
+exhausted — idles while the other finishes; the query completes when both
+are done, and the number of ticks equals ``max`` of the strands' step
+counts.
+
+The batch kernel derives the same statistic arithmetically; the
+equivalence tests drive both against each other, so this class is the
+executable specification of the lockstep semantics (and of the per-tick
+memory behaviour, via the step-level hook).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.bwt_structure import BWTStructure
+from ..sequence.alphabet import encode, reverse_complement_codes
+
+
+@dataclass
+class StrandState:
+    """One pipeline's architectural state."""
+
+    codes: np.ndarray  # symbols, consumed right to left
+    lo: int
+    hi: int
+    pos: int  # next symbol index to consume (counts down)
+    steps: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.pos < 0 or self.lo >= self.hi
+
+    @property
+    def found(self) -> bool:
+        return self.pos < 0 and self.lo < self.hi
+
+
+class DualPipeline:
+    """Lockstep forward + reverse-complement backward search."""
+
+    def __init__(self, structure: BWTStructure):
+        self.structure = structure
+
+    def _make_state(self, codes: np.ndarray) -> StrandState:
+        return StrandState(
+            codes=codes,
+            lo=0,
+            hi=self.structure.n_rows,
+            pos=int(codes.size) - 1,
+        )
+
+    def _step(self, s: StrandState) -> None:
+        """One pipeline tick: consume one symbol of one strand."""
+        if s.done:
+            return
+        a = int(s.codes[s.pos])
+        st = self.structure
+        s.lo = st.count_smaller(a) + st.occ(a, s.lo)
+        s.hi = st.count_smaller(a) + st.occ(a, s.hi)
+        s.pos -= 1
+        s.steps += 1
+        if s.lo >= s.hi:
+            s.hi = s.lo  # normalize the empty interval
+
+    def run(self, sequence: str) -> tuple[StrandState, StrandState, int]:
+        """Search both strands; returns (fwd, rc, ticks).
+
+        ``ticks`` is the lockstep cycle count: both strands advance each
+        tick until each is individually done.
+        """
+        fwd_codes = encode(sequence)
+        rc_codes = reverse_complement_codes(fwd_codes)
+        fwd = self._make_state(fwd_codes)
+        rc = self._make_state(rc_codes)
+        ticks = 0
+        while not (fwd.done and rc.done):
+            self._step(fwd)
+            self._step(rc)
+            ticks += 1
+        return fwd, rc, ticks

@@ -1,0 +1,57 @@
+"""Power and energy accounting (the paper's efficiency columns).
+
+The paper uses flat reference powers — 135 W for the Intel Xeon E5-2698
+v3 host and 25 W for the Alveo U200 — and reports *power efficiency*
+relative to the FPGA as
+
+.. math::
+
+   \\text{eff}(x) = \\frac{t_x \\cdot P_x}{t_{FPGA} \\cdot P_{FPGA}},
+
+i.e. the ratio of energies; a row's "380×" means the software run spent
+380× the energy of the FPGA run.  These helpers centralize that
+arithmetic so Tables I and II are computed one way everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import ALVEO_U200, XEON_E5_2698V3_WATTS
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Reference power draws of the compared platforms."""
+
+    fpga_watts: float = ALVEO_U200.board_power_watts
+    cpu_watts: float = XEON_E5_2698V3_WATTS
+
+    def __post_init__(self):
+        if self.fpga_watts <= 0 or self.cpu_watts <= 0:
+            raise ValueError("power draws must be positive")
+
+    def fpga_energy(self, seconds: float) -> float:
+        return seconds * self.fpga_watts
+
+    def cpu_energy(self, seconds: float) -> float:
+        """Whole-socket energy (the paper bills all threads at 135 W)."""
+        return seconds * self.cpu_watts
+
+    def efficiency_vs_fpga(self, other_seconds: float, fpga_seconds: float,
+                           other_watts: float | None = None) -> float:
+        """The paper's power-efficiency column: energy ratio vs the FPGA."""
+        watts = other_watts if other_watts is not None else self.cpu_watts
+        fpga_j = self.fpga_energy(fpga_seconds)
+        if fpga_j <= 0:
+            return float("inf")
+        return (other_seconds * watts) / fpga_j
+
+    def speedup_vs_fpga(self, other_seconds: float, fpga_seconds: float) -> float:
+        """The paper's speed-up column (FPGA is the 1× anchor)."""
+        if fpga_seconds <= 0:
+            return float("inf")
+        return other_seconds / fpga_seconds
+
+
+DEFAULT_POWER_MODEL = PowerModel()

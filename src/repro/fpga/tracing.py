@@ -1,0 +1,77 @@
+"""Chrome-trace export of the modeled device timeline.
+
+The OpenCL-like runtime records per-command profiling timestamps; this
+module renders them in the Chrome Trace Event format (``chrome://tracing``
+/ Perfetto JSON), the de-facto tool for inspecting accelerator timelines.
+Useful when debugging why a modeled run is transfer- or load-bound — the
+same inspection the paper's authors would do over real OpenCL traces.
+
+Each event becomes a complete ("X") slice on the device track, with the
+command type as the category and byte/duration metadata in ``args``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from .opencl import CommandQueue, CommandType
+
+#: Trace track ids.
+_PID_DEVICE = 1
+_TID_BY_COMMAND = {
+    CommandType.WRITE_BUFFER: 1,
+    CommandType.KERNEL: 2,
+    CommandType.READ_BUFFER: 3,
+}
+_TRACK_NAMES = {1: "h2d transfers", 2: "kernel", 3: "d2h transfers"}
+
+
+def to_trace_events(queue: CommandQueue) -> list[dict]:
+    """The queue's events as Chrome trace dicts (timestamps in µs)."""
+    out: list[dict] = []
+    for tid, name in _TRACK_NAMES.items():
+        out.append(
+            {
+                "ph": "M",
+                "pid": _PID_DEVICE,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": name},
+            }
+        )
+    for i, ev in enumerate(queue.events):
+        out.append(
+            {
+                "ph": "X",
+                "pid": _PID_DEVICE,
+                "tid": _TID_BY_COMMAND[ev.command],
+                "name": f"{ev.command.value}#{i}",
+                "cat": ev.command.value,
+                "ts": ev.profile_start / 1e3,
+                "dur": max(0.001, (ev.profile_end - ev.profile_start) / 1e3),
+                "args": {
+                    "queued_ns": ev.profile_queued,
+                    "start_ns": ev.profile_start,
+                    "end_ns": ev.profile_end,
+                },
+            }
+        )
+    return out
+
+
+def write_trace(queue: CommandQueue, fh: IO[str]) -> int:
+    """Write the trace JSON; returns the number of slice events."""
+    events = to_trace_events(queue)
+    json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fh)
+    return sum(1 for e in events if e["ph"] == "X")
+
+
+def timeline_summary(queue: CommandQueue) -> dict[str, float]:
+    """Per-category busy time and the bound resource."""
+    busy = {c.value: 0.0 for c in CommandType}
+    for ev in queue.events:
+        busy[ev.command.value] += ev.duration_seconds
+    total = queue.device_time_ns / 1e9
+    bound = max(busy, key=lambda k: busy[k]) if any(busy.values()) else "idle"
+    return {**busy, "total_seconds": total, "bound_by": bound}  # type: ignore[dict-item]

@@ -1,0 +1,44 @@
+"""FM-index layer: backward search over pluggable rank backends."""
+
+from .bidirectional import BidirectionalFMIndex, BiInterval
+from .builder import BuildReport, build_index, encode_existing_bwt
+from .extract import TextExtractor
+from .fm_index import FMIndex, SearchResult
+from .multiref import MultiReferenceIndex, MultiRefMapping, ReferenceHit
+from .occ_table import OccTable, pack_2bit, unpack_2bit
+from .partitioned import Chunk, PartitionedIndex
+from .serialization import (
+    IndexFormatError,
+    load_index,
+    load_multiref_index,
+    save_index,
+    save_multiref_index,
+)
+from .validate import IndexValidationError, ValidationReport, validate_index
+
+__all__ = [
+    "BiInterval",
+    "BidirectionalFMIndex",
+    "BuildReport",
+    "Chunk",
+    "FMIndex",
+    "IndexFormatError",
+    "IndexValidationError",
+    "MultiRefMapping",
+    "MultiReferenceIndex",
+    "OccTable",
+    "PartitionedIndex",
+    "ReferenceHit",
+    "SearchResult",
+    "TextExtractor",
+    "ValidationReport",
+    "build_index",
+    "encode_existing_bwt",
+    "load_index",
+    "load_multiref_index",
+    "pack_2bit",
+    "save_index",
+    "save_multiref_index",
+    "unpack_2bit",
+    "validate_index",
+]

@@ -1,0 +1,100 @@
+"""Text extraction from the index alone (FM-index ``extract``).
+
+A full-text index is *self-* indexing when the original text can be
+recovered from it — the property that lets BWaveR-style deployments drop
+the reference FASTA after building (the paper's web workflow keeps only
+the BWT/SA file).  This module adds the standard extract machinery:
+sampled **inverse suffix array** entries (``isa[p]`` = matrix row of the
+suffix starting at text position ``p``) plus LF walking.
+
+To extract ``T[s:e]``: start from the sampled row nearest *after* ``e``,
+LF-step down to position ``e`` (each LF step moves from the suffix at
+``p`` to the suffix at ``p - 1``, and the BWT symbol at the current row
+is ``T[p - 1]``), then emit ``e - s`` symbols.  Cost:
+``O(sample_rate + length)`` rank queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sequence.alphabet import decode
+
+
+class TextExtractor:
+    """Recover text substrings from a rank backend + ISA samples.
+
+    Parameters
+    ----------
+    backend:
+        Any rank backend (``access``/``lf``/``n_rows``).
+    sa:
+        The suffix array (consumed at build time; only every
+        ``sample_rate``-th inverse entry is retained, plus ``isa[n]``).
+    sample_rate:
+        Distance between retained ISA samples.
+    """
+
+    def __init__(self, backend, sa: np.ndarray, sample_rate: int = 32):
+        if sample_rate < 1:
+            raise ValueError("sample_rate must be >= 1")
+        sa = np.asarray(sa, dtype=np.int64)
+        if sa.size != backend.n_rows:
+            raise ValueError(
+                f"suffix array length {sa.size} != matrix rows {backend.n_rows}"
+            )
+        self.backend = backend
+        self.k = int(sample_rate)
+        self.n = int(sa.size) - 1  # text length
+        isa = np.empty(sa.size, dtype=np.int64)
+        isa[sa] = np.arange(sa.size, dtype=np.int64)
+        # Samples at positions 0, k, 2k, ... plus the sentinel position n.
+        self._sample_positions = np.arange(0, self.n + 1, self.k, dtype=np.int64)
+        if self._sample_positions[-1] != self.n:
+            self._sample_positions = np.concatenate(
+                [self._sample_positions, [self.n]]
+            )
+        self._samples = isa[self._sample_positions]
+
+    def size_in_bytes(self) -> int:
+        return self._samples.nbytes + self._sample_positions.nbytes
+
+    def _row_at(self, position: int) -> int:
+        """Matrix row of the suffix starting at ``position`` (0..n)."""
+        idx = int(np.searchsorted(self._sample_positions, position, side="left"))
+        q = int(self._sample_positions[idx])
+        row = int(self._samples[idx])
+        for _ in range(q - position):
+            row = self.backend.lf(row)
+        return row
+
+    def extract_codes(self, start: int, length: int) -> np.ndarray:
+        """Symbol codes of ``T[start : start + length]``."""
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        if not 0 <= start <= self.n:
+            raise IndexError(f"start {start} out of range [0, {self.n}]")
+        end = start + length
+        if end > self.n:
+            raise IndexError(
+                f"extraction [{start}, {end}) runs past the text end ({self.n})"
+            )
+        if length == 0:
+            return np.zeros(0, dtype=np.uint8)
+        row = self._row_at(end)
+        out = np.zeros(length, dtype=np.uint8)
+        for i in range(length - 1, -1, -1):
+            sym = self.backend.access(row)
+            if sym < 0:  # pragma: no cover - only if end walked past start 0
+                raise AssertionError("extract walked into the sentinel")
+            out[i] = sym
+            row = self.backend.lf(row)
+        return out
+
+    def extract(self, start: int, length: int) -> str:
+        """``T[start : start + length]`` as a DNA string."""
+        return decode(self.extract_codes(start, length))
+
+    def full_text(self) -> str:
+        """Recover the entire reference (self-index round trip)."""
+        return self.extract(0, self.n)

@@ -1,0 +1,230 @@
+"""FM-index backward search (paper §III-A, Eq. 4-5).
+
+:class:`FMIndex` is the repository's central query object: it binds a
+rank backend (the succinct :class:`~repro.core.bwt_structure.BWTStructure`
+or the checkpointed :class:`~repro.index.occ_table.OccTable`) to a locate
+structure (full or sampled suffix array) and exposes ``count``, ``search``
+and ``locate``.
+
+Interval convention: ``search`` returns the half-open row interval
+``[start, end)`` of Burrows-Wheeler matrix rows whose suffixes begin with
+the pattern; the paper's closed, 1-based ``[start, end]`` with
+``start(aX) = C(a) + Occ(a, start(X) - 1) + 1`` and
+``end(aX) = C(a) + Occ(a, end(X))`` becomes, in 0-based half-open form,
+
+.. math::
+
+   start' = C(a) + Occ(a, start), \\qquad end' = C(a) + Occ(a, end),
+
+and the pattern occurs iff ``start' < end'`` — the same non-emptiness
+criterion Ferragina & Manzini prove for ``start <= end``.
+
+Early termination: the search consumes pattern symbols right to left and
+stops at the first empty interval.  The number of consumed symbols is
+recorded per query — this is the workload statistic behind the paper's
+Fig. 7 observation that mapping time scales with the *mapping ratio*
+(unmapped reads terminate early).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from ..core.counters import GLOBAL_COUNTERS, OpCounters
+from ..sequence.alphabet import encode
+from ..sequence.sampled_sa import FullSA, SampledSA
+
+SIGMA = 4
+
+
+class RankBackend(Protocol):
+    """What a rank structure must provide to drive backward search."""
+
+    n_rows: int
+    counters: OpCounters
+
+    def occ(self, symbol: int, i: int) -> int: ...
+    def occ_many(self, symbol: int, positions: np.ndarray) -> np.ndarray: ...
+    def count_smaller(self, symbol: int) -> int: ...
+    def lf(self, i: int) -> int: ...
+    def size_in_bytes(self, include_shared: bool = True) -> int: ...
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one backward search.
+
+    ``start``/``end`` delimit the half-open SA row interval; ``steps`` is
+    the number of pattern symbols consumed before success or the first
+    empty interval (early termination).
+    """
+
+    start: int
+    end: int
+    steps: int
+
+    @property
+    def count(self) -> int:
+        return max(0, self.end - self.start)
+
+    @property
+    def found(self) -> bool:
+        return self.end > self.start
+
+
+class FMIndex:
+    """Count/search/locate over a rank backend and a locate structure.
+
+    Parameters
+    ----------
+    backend:
+        Any :class:`RankBackend` — typically a
+        :class:`~repro.core.bwt_structure.BWTStructure`.
+    locate_structure:
+        A :class:`~repro.sequence.sampled_sa.FullSA` (BWaveR's host-side
+        choice) or :class:`~repro.sequence.sampled_sa.SampledSA`.
+    counters:
+        Defaults to the backend's counters.
+    """
+
+    def __init__(
+        self,
+        backend: RankBackend,
+        locate_structure: FullSA | SampledSA | None = None,
+        counters: OpCounters | None = None,
+    ):
+        self.backend = backend
+        self.locate_structure = locate_structure
+        self.counters = (
+            counters
+            if counters is not None
+            else getattr(backend, "counters", GLOBAL_COUNTERS)
+        )
+
+    @property
+    def n_rows(self) -> int:
+        return self.backend.n_rows
+
+    # -- pattern normalization ---------------------------------------------------
+
+    @staticmethod
+    def _codes(pattern) -> np.ndarray:
+        if isinstance(pattern, str):
+            return encode(pattern)
+        arr = np.asarray(pattern, dtype=np.int64)
+        if arr.size and (arr.min() < 0 or arr.max() >= SIGMA):
+            raise ValueError("pattern codes must lie in [0, 4)")
+        return arr.astype(np.uint8)
+
+    # -- core queries ---------------------------------------------------------------
+
+    def search(self, pattern) -> SearchResult:
+        """Backward search; returns the SA interval of the pattern.
+
+        The empty pattern matches every row (the full interval), matching
+        the recurrence's base case.
+        """
+        codes = self._codes(pattern)
+        self.counters.queries += 1
+        lo, hi = 0, self.n_rows
+        steps = 0
+        backend = self.backend
+        for a in codes[::-1]:
+            a = int(a)
+            lo = backend.count_smaller(a) + backend.occ(a, lo)
+            hi = backend.count_smaller(a) + backend.occ(a, hi)
+            steps += 1
+            self.counters.bs_steps += 1
+            if lo >= hi:
+                return SearchResult(start=lo, end=lo, steps=steps)
+        return SearchResult(start=lo, end=hi, steps=steps)
+
+    def count(self, pattern) -> int:
+        """Number of occurrences of ``pattern`` in the reference."""
+        return self.search(pattern).count
+
+    def locate(self, pattern) -> np.ndarray:
+        """Sorted text positions of all occurrences of ``pattern``."""
+        if self.locate_structure is None:
+            raise RuntimeError("this index was built without a locate structure")
+        res = self.search(pattern)
+        if not res.found:
+            return np.zeros(0, dtype=np.int64)
+        positions = self.locate_structure.locate_range(
+            res.start, res.end, lf=self.backend.lf
+        )
+        return np.sort(positions)
+
+    # -- batch (vectorized) search -------------------------------------------------
+
+    def search_batch(
+        self, patterns: Sequence, track_steps: bool = True
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Backward search over many patterns with per-step vectorization.
+
+        Patterns may have different lengths; each query is advanced until
+        its own symbols run out or its interval empties.  Returns
+        ``(starts, ends, steps)`` arrays.  Results are identical to
+        calling :meth:`search` per pattern (tests enforce this); the
+        batching exists because grouping the ``Occ`` queries of all live
+        patterns by symbol turns the inner loop into a handful of
+        vectorized rank calls per step — the idiomatic numpy shape of the
+        FPGA's many-queries-in-flight pipeline.
+        """
+        code_list = [self._codes(p) for p in patterns]
+        nq = len(code_list)
+        self.counters.queries += nq
+        lengths = np.array([c.size for c in code_list], dtype=np.int64)
+        max_len = int(lengths.max()) if nq else 0
+        # Right-aligned code matrix: column t holds the symbol consumed at
+        # step t (patterns are consumed right to left).
+        mat = np.full((nq, max_len), -1, dtype=np.int64)
+        for i, c in enumerate(code_list):
+            if c.size:
+                mat[i, : c.size] = c[::-1].astype(np.int64)
+        lo = np.zeros(nq, dtype=np.int64)
+        hi = np.full(nq, self.n_rows, dtype=np.int64)
+        steps = np.zeros(nq, dtype=np.int64)
+        active = lengths > 0
+        backend = self.backend
+        for t in range(max_len):
+            cur = active & (t < lengths)
+            if not np.any(cur):
+                break
+            col = mat[:, t]
+            for a in range(SIGMA):
+                sel = cur & (col == a)
+                if not np.any(sel):
+                    continue
+                idx = np.flatnonzero(sel)
+                ca = backend.count_smaller(a)
+                lo[idx] = ca + backend.occ_many(a, lo[idx])
+                hi[idx] = ca + backend.occ_many(a, hi[idx])
+            steps[cur] += 1
+            if track_steps:
+                self.counters.bs_steps += int(np.count_nonzero(cur))
+            emptied = cur & (lo >= hi)
+            hi[emptied] = lo[emptied]
+            active &= ~emptied
+        return lo, hi, steps
+
+    def count_batch(self, patterns: Sequence) -> np.ndarray:
+        lo, hi, _ = self.search_batch(patterns)
+        return np.maximum(hi - lo, 0)
+
+    # -- sizes -------------------------------------------------------------------------
+
+    def size_in_bytes(self, include_locate: bool = False) -> int:
+        total = self.backend.size_in_bytes()
+        if include_locate and self.locate_structure is not None:
+            total += self.locate_structure.size_in_bytes()
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"FMIndex(rows={self.n_rows}, backend={type(self.backend).__name__}, "
+            f"locate={type(self.locate_structure).__name__ if self.locate_structure else None})"
+        )

@@ -1,0 +1,178 @@
+"""Index persistence: save/load a built FM-index to a single ``.npz``.
+
+BWaveR's web workflow computes the BWT and suffix array once per
+reference and stores them "in a file" (workflow step 1) so repeated
+mapping jobs skip suffix sorting.  This module provides that persistence
+layer for both backends.
+
+The archive stores raw arrays plus a small JSON metadata blob (format
+version, backend kind, parameters).  Loading *re-encodes* the succinct
+structure from the stored BWT rather than pickling live objects — the
+arrays are the ground truth, re-encoding is fast, and it keeps the format
+robust against refactors of in-memory layouts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..core.bwt_structure import BWTStructure
+from ..core.counters import OpCounters
+from ..sequence.bwt import BWT
+from ..sequence.sampled_sa import FullSA, SampledSA
+from .fm_index import FMIndex
+from .occ_table import OccTable
+
+FORMAT_VERSION = 1
+
+
+class IndexFormatError(ValueError):
+    """Raised when an archive is missing fields or version-incompatible."""
+
+
+def save_multiref_index(index, path: str | Path) -> None:
+    """Serialize a :class:`~repro.index.multiref.MultiReferenceIndex`.
+
+    Stores the inner concatenation index plus the sequence table (names,
+    lengths) in the same archive.
+    """
+    from .multiref import MultiReferenceIndex
+
+    if not isinstance(index, MultiReferenceIndex):
+        raise IndexFormatError(
+            f"expected a MultiReferenceIndex, got {type(index).__name__}"
+        )
+    path = Path(path)
+    # Reuse the single-index writer, then append the sequence table.
+    save_index(index.index, path)
+    with np.load(path) as data:
+        arrays = dict(data)
+    meta = json.loads(bytes(arrays["meta_json"]).decode("utf-8"))
+    meta["multiref"] = True
+    arrays["meta_json"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    ).copy()
+    arrays["seq_names_json"] = np.frombuffer(
+        json.dumps(list(index.names)).encode("utf-8"), dtype=np.uint8
+    ).copy()
+    arrays["seq_lengths"] = index.lengths
+    np.savez_compressed(path, **arrays)
+
+
+def load_multiref_index(path: str | Path, counters=None):
+    """Load an archive written by :func:`save_multiref_index`."""
+    from .multiref import MultiReferenceIndex
+
+    path = Path(path)
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta_json"]).decode("utf-8"))
+        if not meta.get("multiref"):
+            raise IndexFormatError(
+                "archive holds a single-reference index; use load_index"
+            )
+        names = json.loads(bytes(data["seq_names_json"]).decode("utf-8"))
+        lengths = data["seq_lengths"].astype(np.int64)
+    inner = load_index(path, counters=counters)
+    # Rebuild the wrapper around the loaded inner index without re-indexing.
+    multi = MultiReferenceIndex.__new__(MultiReferenceIndex)
+    multi.names = tuple(names)
+    multi.lengths = lengths
+    multi.offsets = np.concatenate(([0], np.cumsum(lengths)))
+    multi.index = inner
+    multi.build_report = None
+    return multi
+
+
+def save_index(index: FMIndex, path: str | Path) -> None:
+    """Serialize ``index`` (backend parameters + BWT + locate data)."""
+    path = Path(path)
+    backend = index.backend
+    if isinstance(backend, BWTStructure):
+        meta = {
+            "version": FORMAT_VERSION,
+            "backend": "rrr",
+            "b": backend.b,
+            "sf": backend.sf,
+            "sentinel_in_tree": backend.store_sentinel_in_tree,
+        }
+        bwt = backend.bwt
+    elif isinstance(backend, OccTable):
+        meta = {
+            "version": FORMAT_VERSION,
+            "backend": "occ",
+            "checkpoint_words": backend.checkpoint_words,
+        }
+        bwt = backend.bwt
+    else:
+        raise IndexFormatError(
+            f"cannot serialize backend of type {type(backend).__name__}"
+        )
+    arrays: dict[str, np.ndarray] = {
+        "bwt_codes": bwt.codes,
+        "dollar_pos": np.array([bwt.dollar_pos], dtype=np.int64),
+        "sa": bwt.sa,
+    }
+    loc = index.locate_structure
+    if loc is None:
+        meta["locate"] = "none"
+    elif isinstance(loc, FullSA):
+        meta["locate"] = "full"
+    elif isinstance(loc, SampledSA):
+        meta["locate"] = "sampled"
+        meta["sa_sample_rate"] = loc.k
+    else:
+        raise IndexFormatError(
+            f"cannot serialize locate structure of type {type(loc).__name__}"
+        )
+    arrays["meta_json"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    ).copy()
+    np.savez_compressed(path, **arrays)
+
+
+def load_index(path: str | Path, counters: OpCounters | None = None) -> FMIndex:
+    """Load an archive written by :func:`save_index` and rebuild the index."""
+    path = Path(path)
+    with np.load(path) as data:
+        try:
+            meta = json.loads(bytes(data["meta_json"]).decode("utf-8"))
+            bwt_codes = data["bwt_codes"]
+            dollar_pos = int(data["dollar_pos"][0])
+            sa = data["sa"]
+        except KeyError as exc:
+            raise IndexFormatError(f"archive missing field: {exc}") from exc
+    version = meta.get("version")
+    if version != FORMAT_VERSION:
+        raise IndexFormatError(
+            f"unsupported index format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    bwt = BWT(codes=bwt_codes, dollar_pos=dollar_pos, sa=sa)
+    kind = meta.get("backend")
+    if kind == "rrr":
+        backend = BWTStructure(
+            bwt,
+            b=int(meta["b"]),
+            sf=int(meta["sf"]),
+            store_sentinel_in_tree=bool(meta.get("sentinel_in_tree", False)),
+            counters=counters,
+        )
+    elif kind == "occ":
+        backend = OccTable(
+            bwt, checkpoint_words=int(meta["checkpoint_words"]), counters=counters
+        )
+    else:
+        raise IndexFormatError(f"unknown backend kind {kind!r}")
+    locate = meta.get("locate", "none")
+    if locate == "full":
+        loc = FullSA(sa)
+    elif locate == "sampled":
+        loc = SampledSA(sa, k=int(meta.get("sa_sample_rate", 32)))
+    elif locate == "none":
+        loc = None
+    else:
+        raise IndexFormatError(f"unknown locate kind {locate!r}")
+    return FMIndex(backend, locate_structure=loc, counters=counters)

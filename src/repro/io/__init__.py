@@ -1,0 +1,59 @@
+"""I/O substrate: FASTA/FASTQ (plain + gzip), read simulation, refgen."""
+
+from .fasta import (
+    FastaError,
+    FastaRecord,
+    parse_fasta,
+    read_fasta,
+    read_fasta_str,
+    validate_record,
+    write_fasta,
+)
+from .fastq import (
+    FastqError,
+    FastqRecord,
+    parse_fastq,
+    read_fastq,
+    read_fastq_str,
+    sequences,
+    write_fastq,
+)
+from .qc import ReadSetQC, qc_reads
+from .readsim import ReadTruth, SimulatedReadSet, mutate_reads, simulate_reads
+from .refgen import (
+    CHR21_LIKE,
+    DEFAULT_SCALE,
+    E_COLI_LIKE,
+    ReferenceProfile,
+    generate_reference,
+    repeat_content_estimate,
+)
+
+__all__ = [
+    "CHR21_LIKE",
+    "DEFAULT_SCALE",
+    "E_COLI_LIKE",
+    "FastaError",
+    "FastaRecord",
+    "FastqError",
+    "FastqRecord",
+    "ReadSetQC",
+    "ReadTruth",
+    "ReferenceProfile",
+    "SimulatedReadSet",
+    "generate_reference",
+    "mutate_reads",
+    "parse_fasta",
+    "qc_reads",
+    "parse_fastq",
+    "read_fasta",
+    "read_fasta_str",
+    "read_fastq",
+    "read_fastq_str",
+    "repeat_content_estimate",
+    "sequences",
+    "simulate_reads",
+    "validate_record",
+    "write_fasta",
+    "write_fastq",
+]

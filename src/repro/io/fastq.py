@@ -1,0 +1,127 @@
+"""FASTQ reading/writing, plain or gzipped (paper §III-D).
+
+Query sequences arrive "as ... FASTQ files ... both in uncompressed or
+gzipped formats".  The parser enforces the four-line record structure
+strictly (truncated uploads are a routine failure mode of the web
+workflow and must be reported, not silently half-parsed):
+
+1. ``@name [description]``
+2. sequence
+3. ``+`` (optionally repeating the name)
+4. quality string, same length as the sequence
+
+Qualities are carried but not interpreted — BWaveR performs exact
+matching, so base qualities never influence the search.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterator, Sequence
+
+from .fasta import _open_text
+
+
+class FastqError(ValueError):
+    """Raised on malformed FASTQ input."""
+
+
+@dataclass(frozen=True)
+class FastqRecord:
+    """One FASTQ record."""
+
+    name: str
+    sequence: str
+    quality: str
+    description: str = ""
+
+    @property
+    def length(self) -> int:
+        return len(self.sequence)
+
+    def mean_quality(self, offset: int = 33) -> float:
+        """Mean Phred score (Sanger offset by default)."""
+        if not self.quality:
+            return 0.0
+        return sum(ord(c) - offset for c in self.quality) / len(self.quality)
+
+
+def parse_fastq(fh: IO[str]) -> Iterator[FastqRecord]:
+    """Stream records from an open text handle, validating structure."""
+    lineno = 0
+    while True:
+        header = fh.readline()
+        if not header:
+            return
+        lineno += 1
+        header = header.rstrip("\n").rstrip("\r")
+        if not header:
+            continue  # tolerate blank separator lines between records
+        if not header.startswith("@"):
+            raise FastqError(f"line {lineno}: expected '@' header, got {header[:30]!r}")
+        seq_line = fh.readline()
+        plus_line = fh.readline()
+        qual_line = fh.readline()
+        if not qual_line:
+            raise FastqError(
+                f"truncated FASTQ record starting at line {lineno} "
+                f"(record {header[1:].split()[0] if len(header) > 1 else ''!r})"
+            )
+        lineno += 3
+        sequence = seq_line.strip()
+        plus = plus_line.strip()
+        quality = qual_line.strip()
+        if not plus.startswith("+"):
+            raise FastqError(f"line {lineno - 1}: expected '+' separator, got {plus[:30]!r}")
+        if len(quality) != len(sequence):
+            raise FastqError(
+                f"line {lineno}: quality length {len(quality)} != "
+                f"sequence length {len(sequence)}"
+            )
+        parts = header[1:].split(None, 1)
+        if not parts:
+            raise FastqError(f"line {lineno - 3}: empty FASTQ header")
+        yield FastqRecord(
+            name=parts[0],
+            sequence=sequence.upper(),
+            quality=quality,
+            description=parts[1] if len(parts) > 1 else "",
+        )
+
+
+def read_fastq(path: str | Path) -> list[FastqRecord]:
+    """Read all records from a (possibly gzipped) FASTQ file."""
+    with _open_text(path) as fh:
+        return list(parse_fastq(fh))
+
+
+def read_fastq_str(text: str) -> list[FastqRecord]:
+    """Parse FASTQ from an in-memory string (web upload path)."""
+    return list(parse_fastq(io.StringIO(text)))
+
+
+def write_fastq(
+    records: Sequence[FastqRecord],
+    path: str | Path,
+    compress: bool = False,
+) -> None:
+    """Write records in four-line form."""
+    opener = gzip.open if compress else open
+    with opener(path, "wt") as fh:  # type: ignore[operator]
+        for rec in records:
+            if len(rec.quality) != len(rec.sequence):
+                raise FastqError(
+                    f"record {rec.name!r}: quality/sequence length mismatch"
+                )
+            header = f"@{rec.name}"
+            if rec.description:
+                header += f" {rec.description}"
+            fh.write(f"{header}\n{rec.sequence}\n+\n{rec.quality}\n")
+
+
+def sequences(records: Sequence[FastqRecord]) -> list[str]:
+    """Just the read strings, in order (what the mapper consumes)."""
+    return [r.sequence for r in records]

@@ -1,0 +1,147 @@
+"""Read-set quality control: the sanity pass before hours of mapping.
+
+Mapping jobs fail in boring ways — truncated uploads, adapter dimers,
+wildly mixed read lengths, all-N lanes.  A cheap QC summary up front
+catches them.  This module computes the standard per-set statistics
+(FastQC's core numbers) from FASTQ records or plain read strings:
+
+* read count, length min/mean/max and histogram;
+* per-set GC fraction and per-read GC distribution quartiles;
+* mean Phred quality (when qualities are present) and the fraction of
+  low-quality reads;
+* duplication rate (exact-sequence duplicates — the PCR-duplicate
+  proxy);
+* invalid-character count (reads the exact mapper will reject).
+
+The web workflow surfaces the summary on the job status; the CLI's
+``simulate`` prints it for generated sets.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..sequence.alphabet import is_valid
+from .fastq import FastqRecord
+
+
+@dataclass
+class ReadSetQC:
+    """The QC summary document."""
+
+    n_reads: int = 0
+    length_min: int = 0
+    length_max: int = 0
+    length_mean: float = 0.0
+    uniform_length: bool = True
+    gc_fraction: float = 0.0
+    gc_quartiles: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    duplication_rate: float = 0.0
+    invalid_reads: int = 0
+    mean_quality: float | None = None
+    low_quality_fraction: float | None = None
+    length_histogram: dict[int, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-able rendering (web status document)."""
+        return {
+            "n_reads": self.n_reads,
+            "length": {
+                "min": self.length_min,
+                "max": self.length_max,
+                "mean": round(self.length_mean, 2),
+                "uniform": self.uniform_length,
+            },
+            "gc_fraction": round(self.gc_fraction, 4),
+            "gc_quartiles": [round(q, 4) for q in self.gc_quartiles],
+            "duplication_rate": round(self.duplication_rate, 4),
+            "invalid_reads": self.invalid_reads,
+            "mean_quality": (
+                round(self.mean_quality, 2) if self.mean_quality is not None else None
+            ),
+            "low_quality_fraction": (
+                round(self.low_quality_fraction, 4)
+                if self.low_quality_fraction is not None
+                else None
+            ),
+        }
+
+    def warnings(self) -> list[str]:
+        """Human-readable red flags (empty when the set looks healthy)."""
+        out = []
+        if self.n_reads == 0:
+            return ["read set is empty"]
+        if self.invalid_reads:
+            out.append(
+                f"{self.invalid_reads} read(s) contain non-ACGT characters "
+                f"and will not map"
+            )
+        if self.duplication_rate > 0.5:
+            out.append(
+                f"duplication rate {self.duplication_rate:.0%} — "
+                f"possible PCR over-amplification"
+            )
+        if not self.uniform_length:
+            out.append(
+                f"mixed read lengths ({self.length_min}-{self.length_max}); "
+                f"hardware query records accept up to 176 bases each"
+            )
+        if self.length_max > 176:
+            out.append(
+                f"reads up to {self.length_max} bases exceed the 176-base "
+                f"hardware record; FPGA offload will reject them"
+            )
+        if self.mean_quality is not None and self.mean_quality < 20:
+            out.append(f"mean quality Q{self.mean_quality:.0f} is low")
+        return out
+
+
+def qc_reads(
+    reads: Sequence[str] | Sequence[FastqRecord],
+    low_quality_threshold: float = 20.0,
+) -> ReadSetQC:
+    """Compute the QC summary for strings or FASTQ records."""
+    if not reads:
+        return ReadSetQC()
+    if isinstance(reads[0], FastqRecord):
+        records = list(reads)  # type: ignore[arg-type]
+        seqs = [r.sequence for r in records]
+        quals = [r.mean_quality() for r in records if r.quality]
+    else:
+        seqs = [str(r) for r in reads]
+        quals = []
+
+    lengths = np.array([len(s) for s in seqs], dtype=np.int64)
+    gc_per_read = np.array(
+        [
+            (s.count("G") + s.count("C")) / len(s) if s else 0.0
+            for s in seqs
+        ]
+    )
+    total_bases = int(lengths.sum())
+    total_gc = sum(s.count("G") + s.count("C") for s in seqs)
+    counts = Counter(seqs)
+    duplicates = sum(c - 1 for c in counts.values())
+    qc = ReadSetQC(
+        n_reads=len(seqs),
+        length_min=int(lengths.min()),
+        length_max=int(lengths.max()),
+        length_mean=float(lengths.mean()),
+        uniform_length=bool(lengths.min() == lengths.max()),
+        gc_fraction=(total_gc / total_bases) if total_bases else 0.0,
+        gc_quartiles=tuple(np.percentile(gc_per_read, [25, 50, 75]).tolist()),
+        duplication_rate=duplicates / len(seqs),
+        invalid_reads=sum(1 for s in seqs if not is_valid(s)),
+        length_histogram=dict(sorted(Counter(lengths.tolist()).items())),
+    )
+    if quals:
+        qarr = np.array(quals)
+        qc.mean_quality = float(qarr.mean())
+        qc.low_quality_fraction = float(
+            np.count_nonzero(qarr < low_quality_threshold) / qarr.size
+        )
+    return qc

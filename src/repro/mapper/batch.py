@@ -1,0 +1,136 @@
+"""Batched mapping runs with timing and operation accounting.
+
+The evaluation harness needs, for every configuration, three things per
+run: wall-clock time, the operation counts accrued (to feed the analytic
+cost models), and the mapping outcomes.  :func:`run_mapping_batch`
+packages those.  :func:`run_mapping_multiprocess` additionally shards a
+read set over worker processes — the honest (GIL-free) way to *measure*
+multi-core scaling in Python, complementing the calibrated thread model
+in :mod:`repro.baseline.threading_model` that the Table I/II harness uses
+for paper-scale thread counts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.counters import CounterScope, OpCounters
+from ..index.fm_index import FMIndex
+from .mapper import Mapper
+from .results import MappingResult, mapping_ratio
+
+
+@dataclass
+class BatchRunReport:
+    """Everything one measured mapping run produced."""
+
+    n_reads: int
+    read_length: int
+    wall_seconds: float
+    mapping_ratio: float
+    op_counts: dict[str, int] = field(default_factory=dict)
+    results: list[MappingResult] = field(default_factory=list)
+
+    @property
+    def reads_per_second(self) -> float:
+        return self.n_reads / self.wall_seconds if self.wall_seconds > 0 else float("inf")
+
+    @property
+    def total_bs_steps(self) -> int:
+        return self.op_counts.get("bs_steps", 0)
+
+
+def run_mapping_batch(
+    index: FMIndex,
+    reads: Sequence[str],
+    locate: bool = False,
+    batch: bool = True,
+    keep_results: bool = True,
+) -> BatchRunReport:
+    """Map ``reads`` (both strands), timing the mapping step only.
+
+    ``locate=False`` measures exactly what the paper's FPGA kernel does
+    (interval computation; position resolution is a separate host step).
+    """
+    mapper = Mapper(index, locate=locate)
+    counters = index.counters
+    with CounterScope(counters) as scope:
+        t0 = time.perf_counter()
+        results = mapper.map_reads(reads, batch=batch)
+        wall = time.perf_counter() - t0
+    return BatchRunReport(
+        n_reads=len(reads),
+        read_length=len(reads[0]) if reads else 0,
+        wall_seconds=wall,
+        mapping_ratio=mapping_ratio(results),
+        op_counts=scope.delta,
+        results=results if keep_results else [],
+    )
+
+
+# --------------------------------------------------------------------------
+# Multiprocess sharding (measured multi-core scaling).
+# --------------------------------------------------------------------------
+
+_WORKER_INDEX: FMIndex | None = None
+
+
+def _init_worker(index: FMIndex) -> None:
+    global _WORKER_INDEX
+    _WORKER_INDEX = index
+
+
+def _map_shard(reads: list[str]) -> tuple[int, dict[str, int]]:
+    assert _WORKER_INDEX is not None
+    counters = OpCounters()
+    shard_index = FMIndex(
+        _WORKER_INDEX.backend,
+        locate_structure=_WORKER_INDEX.locate_structure,
+        counters=counters,
+    )
+    mapper = Mapper(shard_index, locate=False)
+    results = mapper.map_reads(reads)
+    mapped = sum(1 for r in results if r.mapped)
+    return mapped, counters.snapshot()
+
+
+def run_mapping_multiprocess(
+    index: FMIndex,
+    reads: Sequence[str],
+    workers: int = 2,
+) -> BatchRunReport:
+    """Shard ``reads`` across ``workers`` processes and time the whole map.
+
+    Counter snapshots are merged from the workers; per-read results are
+    not shipped back (only aggregate mapping ratio), keeping IPC cost out
+    of the measurement.
+    """
+    import multiprocessing as mp
+
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    reads = list(reads)
+    if workers == 1 or len(reads) < workers:
+        return run_mapping_batch(index, reads, keep_results=False)
+    shards = [list(reads[i::workers]) for i in range(workers)]
+    ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
+    t0 = time.perf_counter()
+    with ctx.Pool(workers, initializer=_init_worker, initargs=(index,)) as pool:
+        outcomes = pool.map(_map_shard, shards)
+    wall = time.perf_counter() - t0
+    merged = OpCounters()
+    mapped = 0
+    for shard_mapped, snap in outcomes:
+        mapped += shard_mapped
+        delta = OpCounters(**snap)
+        merged.merge(delta)
+    return BatchRunReport(
+        n_reads=len(reads),
+        read_length=len(reads[0]) if reads else 0,
+        wall_seconds=wall,
+        mapping_ratio=mapped / len(reads) if reads else 0.0,
+        op_counts=merged.snapshot(),
+        results=[],
+    )

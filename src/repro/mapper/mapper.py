@@ -1,0 +1,109 @@
+"""Exact-match read mapping over an FM-index (paper workflow step 3).
+
+For every read :math:`\\mathcal{X}`, BWaveR maps both :math:`\\mathcal{X}`
+and its reverse complement :math:`\\overline{\\mathcal{X}}` onto the
+reference and reports the SA intervals of both strands; positions are
+resolved on the host from the suffix array.  :class:`Mapper` implements
+that contract on the software side — the FPGA kernel in
+:mod:`repro.fpga.kernel` implements the same contract and the tests assert
+bit-identical intervals between the two.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..index.fm_index import FMIndex, SearchResult
+from ..sequence.alphabet import reverse_complement
+from .results import MappingResult, StrandHit
+
+
+class Mapper:
+    """Both-strand exact mapper bound to an :class:`FMIndex`.
+
+    Parameters
+    ----------
+    index:
+        The query index (any backend).
+    locate:
+        When true, SA intervals are resolved to sorted text positions
+        (requires the index to carry a locate structure).  Counting-only
+        mapping (the FPGA's on-device output) sets this false.
+    """
+
+    def __init__(self, index: FMIndex, locate: bool = True):
+        self.index = index
+        self.locate = bool(locate)
+        if self.locate and index.locate_structure is None:
+            raise ValueError(
+                "locate=True requires an index with a locate structure; "
+                "build with locate='full' or 'sampled', or pass locate=False"
+            )
+
+    def _positions(self, res: SearchResult) -> np.ndarray | None:
+        if not self.locate:
+            return None
+        if not res.found:
+            return np.zeros(0, dtype=np.int64)
+        loc = self.index.locate_structure
+        assert loc is not None
+        return np.sort(loc.locate_range(res.start, res.end, lf=self.index.backend.lf))
+
+    def map_read(self, sequence: str, read_id: int = 0, read_name: str | None = None) -> MappingResult:
+        """Map one read and its reverse complement."""
+        fwd = self.index.search(sequence)
+        rc = self.index.search(reverse_complement(sequence))
+        return MappingResult(
+            read_id=read_id,
+            read_name=read_name if read_name is not None else f"read{read_id}",
+            length=len(sequence),
+            forward=StrandHit(fwd, self._positions(fwd)),
+            reverse=StrandHit(rc, self._positions(rc)),
+        )
+
+    def map_reads(
+        self,
+        sequences: Sequence[str],
+        names: Sequence[str] | None = None,
+        batch: bool = True,
+    ) -> list[MappingResult]:
+        """Map many reads; ``batch=True`` uses the vectorized search path.
+
+        Results are identical either way (tests enforce it); the batched
+        path groups the per-step rank queries of all live reads, which is
+        how the numpy implementation approximates the FPGA's
+        many-in-flight execution.
+        """
+        if names is not None and len(names) != len(sequences):
+            raise ValueError("names must match sequences in length")
+        if not batch:
+            return [
+                self.map_read(s, read_id=i, read_name=names[i] if names else None)
+                for i, s in enumerate(sequences)
+            ]
+        seqs = list(sequences)
+        rcs = [reverse_complement(s) for s in seqs]
+        lo, hi, steps = self.index.search_batch(seqs + rcs)
+        n = len(seqs)
+        out: list[MappingResult] = []
+        for i, s in enumerate(seqs):
+            fwd = SearchResult(start=int(lo[i]), end=int(hi[i]), steps=int(steps[i]))
+            rc = SearchResult(
+                start=int(lo[n + i]), end=int(hi[n + i]), steps=int(steps[n + i])
+            )
+            out.append(
+                MappingResult(
+                    read_id=i,
+                    read_name=names[i] if names else f"read{i}",
+                    length=len(s),
+                    forward=StrandHit(fwd, self._positions(fwd)),
+                    reverse=StrandHit(rc, self._positions(rc)),
+                )
+            )
+        return out
+
+    def count_occurrences(self, sequence: str) -> int:
+        """Total exact occurrences on both strands."""
+        return self.index.count(sequence) + self.index.count(reverse_complement(sequence))

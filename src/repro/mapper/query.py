@@ -1,0 +1,151 @@
+"""512-bit query records (paper §III-C).
+
+BWaveR models each query as a 512-bit structure "which stores the
+sequence to be searched and some additional information", sized to match
+the FPGA's 512-bit memory ports ("to exploit the memory burst") and able
+to hold sequences "long up to 176 bases".
+
+Layout used here (bit 0 = LSB of word 0; eight 64-bit words):
+
+======== ======== =======================================================
+bits      field    meaning
+======== ======== =======================================================
+0-351     bases    2-bit codes, base ``i`` in bits ``2i .. 2i+1``
+352-359   length   read length in bases (0-176)
+360-391   id       32-bit query identifier
+392-399   flags    bit 0: reverse-complement-of record (set by the host
+                   only for diagnostics; the kernel derives RC itself)
+400-511   reserved zero
+======== ======== =======================================================
+
+The packing is exact and reversible; tests round-trip random reads
+through :func:`pack_query`/:func:`unpack_query` and through the batched
+:func:`pack_queries` used by the host-side transfer path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sequence.alphabet import decode, encode
+
+#: Query record size: one 512-bit burst word.
+QUERY_BITS = 512
+QUERY_WORDS = 8
+#: Maximum bases a record can carry (paper: "long up to 176 bases").
+MAX_QUERY_BASES = 176
+
+_LEN_BIT = 352
+_ID_BIT = 360
+_FLAG_BIT = 392
+FLAG_REVERSE_COMPLEMENT = 1
+
+
+class QueryTooLongError(ValueError):
+    """Raised when a read exceeds the 176-base record capacity."""
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """A decoded query record."""
+
+    sequence: str
+    query_id: int
+    flags: int = 0
+
+    @property
+    def length(self) -> int:
+        return len(self.sequence)
+
+
+def _set_bits(words: np.ndarray, start: int, width: int, value: int) -> None:
+    """Write ``value`` into ``words`` at bit offset ``start`` (LSB-first)."""
+    for k in range(width):
+        if value >> k & 1:
+            bit = start + k
+            words[bit // 64] |= np.uint64(1) << np.uint64(bit % 64)
+
+
+def _get_bits(words: np.ndarray, start: int, width: int) -> int:
+    value = 0
+    for k in range(width):
+        bit = start + k
+        if int(words[bit // 64]) >> (bit % 64) & 1:
+            value |= 1 << k
+    return value
+
+
+def pack_query(sequence: str, query_id: int, flags: int = 0) -> np.ndarray:
+    """Pack one read into a 512-bit record (eight uint64 words)."""
+    if len(sequence) > MAX_QUERY_BASES:
+        raise QueryTooLongError(
+            f"read of {len(sequence)} bases exceeds the {MAX_QUERY_BASES}-base "
+            f"record capacity; split the read or use the software mapper"
+        )
+    if not 0 <= query_id < (1 << 32):
+        raise ValueError("query_id must fit in 32 bits")
+    if not 0 <= flags < (1 << 8):
+        raise ValueError("flags must fit in 8 bits")
+    codes = encode(sequence)
+    words = np.zeros(QUERY_WORDS, dtype=np.uint64)
+    for i, c in enumerate(codes):
+        _set_bits(words, 2 * i, 2, int(c))
+    _set_bits(words, _LEN_BIT, 8, len(sequence))
+    _set_bits(words, _ID_BIT, 32, query_id)
+    _set_bits(words, _FLAG_BIT, 8, flags)
+    return words
+
+
+def unpack_query(words: np.ndarray) -> QueryRecord:
+    """Decode a 512-bit record back to a :class:`QueryRecord`."""
+    words = np.asarray(words, dtype=np.uint64)
+    if words.size != QUERY_WORDS:
+        raise ValueError(f"query record must be {QUERY_WORDS} words, got {words.size}")
+    length = _get_bits(words, _LEN_BIT, 8)
+    if length > MAX_QUERY_BASES:
+        raise ValueError(f"corrupt record: length field {length} > {MAX_QUERY_BASES}")
+    codes = np.array([_get_bits(words, 2 * i, 2) for i in range(length)], dtype=np.uint8)
+    return QueryRecord(
+        sequence=decode(codes),
+        query_id=_get_bits(words, _ID_BIT, 32),
+        flags=_get_bits(words, _FLAG_BIT, 8),
+    )
+
+
+def pack_queries(sequences, start_id: int = 0) -> np.ndarray:
+    """Pack many reads into an ``(n, 8)`` uint64 array (one burst per row).
+
+    This is the buffer the host enqueues to the device; ids are assigned
+    sequentially from ``start_id``.
+    """
+    seq_list = list(sequences)
+    out = np.zeros((len(seq_list), QUERY_WORDS), dtype=np.uint64)
+    # Vectorized base packing: build a code matrix then fold 32 bases per word.
+    lengths = np.array([len(s) for s in seq_list], dtype=np.int64)
+    if lengths.size and lengths.max(initial=0) > MAX_QUERY_BASES:
+        bad = int(np.argmax(lengths > MAX_QUERY_BASES))
+        raise QueryTooLongError(
+            f"read {bad} has {lengths[bad]} bases (> {MAX_QUERY_BASES})"
+        )
+    for i, s in enumerate(seq_list):
+        codes = encode(s)
+        for w in range(QUERY_WORDS):
+            lo, hi = 32 * w, min(32 * (w + 1), codes.size)
+            if lo >= codes.size:
+                break
+            chunk = codes[lo:hi].astype(np.uint64)
+            shifts = (2 * np.arange(hi - lo, dtype=np.uint64))
+            out[i, w] = np.bitwise_or.reduce(chunk << shifts) if chunk.size else 0
+        _set_bits(out[i], _LEN_BIT, 8, len(s))
+        _set_bits(out[i], _ID_BIT, 32, start_id + i)
+    return out
+
+
+def unpack_queries(records: np.ndarray) -> list[QueryRecord]:
+    """Decode an ``(n, 8)`` record buffer."""
+    records = np.asarray(records, dtype=np.uint64)
+    if records.ndim != 2 or records.shape[1] != QUERY_WORDS:
+        raise ValueError("record buffer must have shape (n, 8)")
+    return [unpack_query(row) for row in records]

@@ -1,0 +1,136 @@
+"""Mapping results and their text output formats.
+
+BWaveR reports, per read, the SA intervals of the forward sequence and of
+its reverse complement; the host then resolves intervals to positions in
+the suffix array.  :class:`MappingResult` carries exactly that, and
+:func:`write_hits_tsv` / :func:`to_sam_lines` provide the downloadable
+outputs of the web workflow (a plain hits table, and a minimal SAM-like
+rendering for interoperability demos).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import IO, Iterable, Sequence
+
+import numpy as np
+
+from ..index.fm_index import SearchResult
+
+
+@dataclass(frozen=True)
+class StrandHit:
+    """One strand's search outcome for a read."""
+
+    interval: SearchResult
+    positions: np.ndarray | None = None
+
+    @property
+    def count(self) -> int:
+        return self.interval.count
+
+    @property
+    def found(self) -> bool:
+        return self.interval.found
+
+
+@dataclass(frozen=True)
+class MappingResult:
+    """Outcome of mapping one read (and its reverse complement)."""
+
+    read_id: int
+    read_name: str
+    length: int
+    forward: StrandHit
+    reverse: StrandHit
+
+    @property
+    def mapped(self) -> bool:
+        """True when either strand matches (the paper's "mapped read")."""
+        return self.forward.found or self.reverse.found
+
+    @property
+    def total_occurrences(self) -> int:
+        return self.forward.count + self.reverse.count
+
+    @property
+    def steps(self) -> int:
+        """Backward-search steps consumed across both strands.
+
+        On the FPGA the two searches run in lockstep pipelines, so the
+        *hardware* step count is ``max``; this property is the *software*
+        (sequential) total.  The cost models pick whichever applies.
+        """
+        return self.forward.interval.steps + self.reverse.interval.steps
+
+    @property
+    def hardware_steps(self) -> int:
+        return max(self.forward.interval.steps, self.reverse.interval.steps)
+
+
+def mapping_ratio(results: Sequence[MappingResult]) -> float:
+    """Fraction of reads with at least one hit (Fig. 7's x-axis)."""
+    if not results:
+        return 0.0
+    return sum(1 for r in results if r.mapped) / len(results)
+
+
+def write_hits_tsv(results: Iterable[MappingResult], fh: IO[str]) -> int:
+    """Write one row per read: name, strand counts, and positions.
+
+    Returns the number of rows written.  This is the primary download of
+    the web workflow.
+    """
+    fh.write("read\tlength\tfwd_count\trc_count\tfwd_positions\trc_positions\n")
+    rows = 0
+    for r in results:
+        fpos = (
+            ",".join(map(str, r.forward.positions.tolist()))
+            if r.forward.positions is not None and r.forward.positions.size
+            else "."
+        )
+        rpos = (
+            ",".join(map(str, r.reverse.positions.tolist()))
+            if r.reverse.positions is not None and r.reverse.positions.size
+            else "."
+        )
+        fh.write(
+            f"{r.read_name}\t{r.length}\t{r.forward.count}\t{r.reverse.count}"
+            f"\t{fpos}\t{rpos}\n"
+        )
+        rows += 1
+    return rows
+
+
+def to_sam_lines(
+    results: Iterable[MappingResult],
+    reads: Sequence[str],
+    reference_name: str = "ref",
+    reference_length: int = 0,
+) -> list[str]:
+    """Minimal SAM rendering of exact-match results.
+
+    One line per located occurrence (or one unmapped line per read with
+    no hits).  Flags used: 0 forward, 16 reverse, 4 unmapped; CIGAR is
+    always full-length ``M`` because BWaveR reports exact matches only.
+    """
+    lines = [
+        "@HD\tVN:1.6\tSO:unknown",
+        f"@SQ\tSN:{reference_name}\tLN:{reference_length}",
+        "@PG\tID:bwaver-repro\tPN:bwaver-repro",
+    ]
+    for r in results:
+        seq = reads[r.read_id]
+        emitted = False
+        for strand, hit, flag in (("+", r.forward, 0), ("-", r.reverse, 16)):
+            if hit.positions is None:
+                continue
+            for pos in hit.positions.tolist():
+                lines.append(
+                    f"{r.read_name}\t{flag}\t{reference_name}\t{pos + 1}\t255"
+                    f"\t{r.length}M\t*\t0\t0\t{seq}\t*"
+                )
+                emitted = True
+        if not emitted:
+            lines.append(f"{r.read_name}\t4\t*\t0\t0\t*\t*\t0\t0\t{seq}\t*")
+    return lines

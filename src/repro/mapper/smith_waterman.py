@@ -1,0 +1,145 @@
+"""Smith-Waterman local alignment (the extend stage of seed-and-extend).
+
+The paper's introduction motivates exact short-fragment mapping as the
+*seeding* stage of seed-and-extend aligners, and its related work (Arram
+et al. [14]) pairs an FM-index seeder with a Smith-Waterman extender.
+This module supplies that extender so the repository can demonstrate the
+full pipeline the paper positions itself inside
+(:mod:`repro.mapper.seed_extend`, ``examples/seed_and_extend.py``).
+
+The DP is vectorized row-wise with numpy: each row of the score matrix is
+computed from the previous row with elementwise maxima; the data
+dependency along the row (gap-in-query chain) is resolved with a running
+maximum of ``H[j] - gap*j`` — exact for linear gap penalties, keeping the
+whole kernel free of per-cell Python loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sequence.alphabet import encode
+
+
+@dataclass(frozen=True)
+class ScoringScheme:
+    """Linear-gap local alignment scores (defaults: +2 / -3 / -5)."""
+
+    match: int = 2
+    mismatch: int = -3
+    gap: int = -5
+
+    def __post_init__(self):
+        if self.match <= 0:
+            raise ValueError("match score must be positive")
+        if self.mismatch >= 0 or self.gap >= 0:
+            raise ValueError("mismatch and gap penalties must be negative")
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """A local alignment of ``query`` against ``target``."""
+
+    score: int
+    query_start: int
+    query_end: int
+    target_start: int
+    target_end: int
+    cigar: str
+
+    @property
+    def query_span(self) -> int:
+        return self.query_end - self.query_start
+
+    @property
+    def target_span(self) -> int:
+        return self.target_end - self.target_start
+
+
+def sw_score_matrix(query, target, scoring: ScoringScheme = ScoringScheme()) -> np.ndarray:
+    """Full Smith-Waterman H matrix, shape ``(len(q)+1, len(t)+1)``.
+
+    Row-vectorized: only the outer loop over query symbols is Python.
+    """
+    q = encode(query) if isinstance(query, str) else np.asarray(query, dtype=np.uint8)
+    t = encode(target) if isinstance(target, str) else np.asarray(target, dtype=np.uint8)
+    m, n = q.size, t.size
+    H = np.zeros((m + 1, n + 1), dtype=np.int64)
+    gap = scoring.gap
+    for i in range(1, m + 1):
+        sub = np.where(t == q[i - 1], scoring.match, scoring.mismatch)
+        diag = H[i - 1, :-1] + sub
+        up = H[i - 1, 1:] + gap
+        row = np.maximum(np.maximum(diag, up), 0)
+        # Resolve the left-dependency chain: H[i,j] may extend H[i,j'] (j'<j)
+        # with (j - j') gaps.  With linear gaps this is
+        # max_j' (row_pre[j'] - gap*(j - j')) = running_max(row_pre - g*j') + g*j,
+        # computed with one cumulative maximum.
+        j_idx = np.arange(1, n + 1, dtype=np.int64)
+        shifted = row - gap * j_idx  # candidates as left-extension sources
+        run = np.maximum.accumulate(shifted)
+        left_ext = np.concatenate(([np.iinfo(np.int64).min // 2], run[:-1])) + gap * j_idx
+        H[i, 1:] = np.maximum(row, np.maximum(left_ext, 0))
+    return H
+
+
+def smith_waterman(query, target, scoring: ScoringScheme = ScoringScheme()) -> Alignment:
+    """Best local alignment with traceback.
+
+    Scores come from the vectorized matrix; the traceback re-derives
+    moves cell by cell (O(alignment length), negligible next to the DP).
+    """
+    q = encode(query) if isinstance(query, str) else np.asarray(query, dtype=np.uint8)
+    t = encode(target) if isinstance(target, str) else np.asarray(target, dtype=np.uint8)
+    H = sw_score_matrix(q, t, scoring)
+    i, j = np.unravel_index(int(np.argmax(H)), H.shape)
+    score = int(H[i, j])
+    if score == 0:
+        return Alignment(0, 0, 0, 0, 0, "")
+    ops: list[str] = []
+    while i > 0 and j > 0 and H[i, j] > 0:
+        sub = scoring.match if q[i - 1] == t[j - 1] else scoring.mismatch
+        if H[i, j] == H[i - 1, j - 1] + sub:
+            ops.append("M")
+            i -= 1
+            j -= 1
+        elif H[i, j] == H[i - 1, j] + scoring.gap:
+            ops.append("I")  # consumes query
+            i -= 1
+        elif H[i, j] == H[i, j - 1] + scoring.gap:
+            ops.append("D")  # consumes target
+            j -= 1
+        else:  # pragma: no cover - DP invariant
+            raise AssertionError("traceback found no consistent predecessor")
+    ops.reverse()
+    return Alignment(
+        score=score,
+        query_start=int(i),
+        query_end=int(i) + sum(1 for o in ops if o in "MI"),
+        target_start=int(j),
+        target_end=int(j) + sum(1 for o in ops if o in "MD"),
+        cigar=_compress_cigar(ops),
+    )
+
+
+def _compress_cigar(ops: list[str]) -> str:
+    """Run-length encode a move list: ``MMMID`` → ``3M1I1D``."""
+    if not ops:
+        return ""
+    out: list[str] = []
+    run_ch, run_len = ops[0], 1
+    for ch in ops[1:]:
+        if ch == run_ch:
+            run_len += 1
+        else:
+            out.append(f"{run_len}{run_ch}")
+            run_ch, run_len = ch, 1
+    out.append(f"{run_len}{run_ch}")
+    return "".join(out)
+
+
+def sw_score_only(query, target, scoring: ScoringScheme = ScoringScheme()) -> int:
+    """Best local score without traceback (cheaper inner loop for filters)."""
+    return int(sw_score_matrix(query, target, scoring).max())

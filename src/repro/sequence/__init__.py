@@ -1,0 +1,46 @@
+"""Sequence substrate: alphabets, suffix arrays, BWT, locate structures."""
+
+from .alphabet import (
+    DNA_ALPHABET,
+    SENTINEL,
+    SIGMA,
+    AlphabetError,
+    decode,
+    encode,
+    gc_fraction,
+    is_valid,
+    random_sequence,
+    reverse_complement,
+    reverse_complement_codes,
+)
+from .bwt import BWT, bwt_from_codes, bwt_from_string, count_array, entropy0, inverse_bwt, run_length_stats
+from .sampled_sa import FullSA, SampledSA
+from .suffix_array import lcp_array, rank_array, sais, suffix_array, verify_suffix_array
+
+__all__ = [
+    "AlphabetError",
+    "BWT",
+    "DNA_ALPHABET",
+    "FullSA",
+    "SENTINEL",
+    "SIGMA",
+    "SampledSA",
+    "bwt_from_codes",
+    "bwt_from_string",
+    "count_array",
+    "decode",
+    "encode",
+    "entropy0",
+    "gc_fraction",
+    "inverse_bwt",
+    "is_valid",
+    "lcp_array",
+    "random_sequence",
+    "rank_array",
+    "reverse_complement",
+    "reverse_complement_codes",
+    "run_length_stats",
+    "sais",
+    "suffix_array",
+    "verify_suffix_array",
+]

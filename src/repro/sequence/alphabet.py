@@ -1,0 +1,135 @@
+"""DNA alphabet handling: 2-bit codes, complements, validation.
+
+BWaveR optimizes its structures for alphabets of ``2**N`` symbols, the
+genomic alphabet ``{A, C, G, T}`` (or ``U`` for RNA) being the motivating
+case.  This module centralizes the character↔code mapping so every other
+subsystem (BWT construction, wavelet tree, query packing, FASTA parsing)
+agrees on it:
+
+===========  ====
+character    code
+===========  ====
+``A``        0
+``C``        1
+``G``        2
+``T``/``U``  3
+===========  ====
+
+Codes are lexicographic, so integer comparisons on code arrays match
+string comparisons on the underlying sequences — a property the suffix
+array builders rely on.  The sentinel ``$`` is *not* part of the alphabet
+(the paper stores its BWT position separately); where an integer code for
+it is needed internally, builders use ``-1`` or ``sigma`` explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The DNA alphabet in lexicographic (= code) order.
+DNA_ALPHABET = ("A", "C", "G", "T")
+SIGMA = 4
+
+#: Character that terminates the text in Burrows-Wheeler constructions.
+SENTINEL = "$"
+
+_CHAR_TO_CODE = np.full(256, -1, dtype=np.int8)
+for _i, _ch in enumerate(DNA_ALPHABET):
+    _CHAR_TO_CODE[ord(_ch)] = _i
+    _CHAR_TO_CODE[ord(_ch.lower())] = _i
+_CHAR_TO_CODE[ord("U")] = 3  # RNA uracil maps with thymine
+_CHAR_TO_CODE[ord("u")] = 3
+
+_CODE_TO_CHAR = np.frombuffer(b"ACGT", dtype=np.uint8)
+
+#: code -> complement code (A<->T, C<->G); vectorized complement is
+#: ``COMPLEMENT_CODE[codes]``.
+COMPLEMENT_CODE = np.array([3, 2, 1, 0], dtype=np.uint8)
+
+_COMPLEMENT_CHAR = np.arange(256, dtype=np.uint8)
+for _a, _b in (("A", "T"), ("C", "G"), ("G", "C"), ("T", "A"),
+               ("a", "t"), ("c", "g"), ("g", "c"), ("t", "a")):
+    _COMPLEMENT_CHAR[ord(_a)] = ord(_b)
+
+
+class AlphabetError(ValueError):
+    """Raised when a sequence contains characters outside ``{A,C,G,T,U}``."""
+
+
+def encode(seq: str | bytes) -> np.ndarray:
+    """Map a DNA string to 2-bit codes (uint8 array).
+
+    Case-insensitive; ``U`` is accepted as ``T``.  Raises
+    :class:`AlphabetError` on any other character (including ``N`` — the
+    read simulator and reference generator never emit ambiguity codes, and
+    the FASTA reader offers a policy hook for them).
+    """
+    if isinstance(seq, str):
+        raw = seq.encode("ascii", errors="replace")
+    else:
+        raw = bytes(seq)
+    arr = np.frombuffer(raw, dtype=np.uint8)
+    codes = _CHAR_TO_CODE[arr]
+    if codes.size and codes.min(initial=0) < 0:
+        bad_idx = int(np.argmax(codes < 0))
+        bad = chr(arr[bad_idx])
+        raise AlphabetError(
+            f"invalid DNA character {bad!r} at position {bad_idx}"
+        )
+    return codes.astype(np.uint8)
+
+
+def decode(codes: np.ndarray) -> str:
+    """Inverse of :func:`encode` (uppercase output)."""
+    codes = np.asarray(codes)
+    if codes.size and (codes.min() < 0 or codes.max() > 3):
+        raise AlphabetError("codes must lie in [0, 3]")
+    return _CODE_TO_CHAR[codes.astype(np.intp)].tobytes().decode("ascii")
+
+
+def reverse_complement(seq: str) -> str:
+    """Reverse complement of a DNA string (the strand the paper also maps)."""
+    raw = np.frombuffer(seq.encode("ascii"), dtype=np.uint8)
+    comp = _COMPLEMENT_CHAR[raw]
+    bad = comp == raw
+    # Characters with no complement mapping are only self-mapped ones that
+    # are not valid bases; validate through encode for a clear error.
+    if np.any(bad):
+        encode(seq)  # raises AlphabetError with position info if invalid
+    return comp[::-1].tobytes().decode("ascii")
+
+
+def reverse_complement_codes(codes: np.ndarray) -> np.ndarray:
+    """Reverse complement on 2-bit code arrays (vectorized)."""
+    codes = np.asarray(codes, dtype=np.uint8)
+    return COMPLEMENT_CODE[codes][::-1].copy()
+
+
+def is_valid(seq: str) -> bool:
+    """True when every character encodes (A/C/G/T/U, any case)."""
+    try:
+        encode(seq)
+        return True
+    except AlphabetError:
+        return False
+
+
+def random_sequence(length: int, rng: np.random.Generator, gc_content: float = 0.5) -> str:
+    """Random DNA string with the requested GC fraction.
+
+    Used by tests and by :mod:`repro.io.refgen`'s background model.
+    """
+    if not 0.0 <= gc_content <= 1.0:
+        raise ValueError("gc_content must lie in [0, 1]")
+    at = (1.0 - gc_content) / 2.0
+    gc = gc_content / 2.0
+    codes = rng.choice(4, size=length, p=[at, gc, gc, at]).astype(np.uint8)
+    return decode(codes)
+
+
+def gc_fraction(seq: str) -> float:
+    """Fraction of G/C bases in a sequence (0 for the empty string)."""
+    if not seq:
+        return 0.0
+    codes = encode(seq)
+    return float(np.count_nonzero((codes == 1) | (codes == 2)) / codes.size)

@@ -1,0 +1,89 @@
+"""Sampled suffix arrays for locate queries.
+
+BWaveR keeps the *full* suffix array in host memory and resolves match
+positions there after the FPGA returns ``[start, end]`` row intervals
+(paper §III-C: "the positions ... are retrieved by the host CPU, in the
+corresponding sets of the suffix array").  :class:`FullSA` models exactly
+that.
+
+Production FM-index mappers (BWA, Bowtie2) instead keep every ``k``-th SA
+entry and recover the rest by LF-walking to the nearest sampled row —
+trading locate time for memory.  :class:`SampledSA` implements that
+scheme; it backs the Bowtie2-like baseline and the memory/time ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class FullSA:
+    """Host-resident full suffix array: O(1) locate per occurrence."""
+
+    def __init__(self, sa: np.ndarray):
+        self.sa = np.asarray(sa, dtype=np.int64)
+
+    def locate(self, row: int, lf=None) -> int:
+        """Text position of the suffix at matrix row ``row``."""
+        if not 0 <= row < self.sa.size:
+            raise IndexError(f"row {row} out of range [0, {self.sa.size})")
+        return int(self.sa[row])
+
+    def locate_range(self, start: int, end: int, lf=None) -> np.ndarray:
+        """Text positions for rows ``[start, end)`` (one per occurrence)."""
+        if not 0 <= start <= end <= self.sa.size:
+            raise IndexError("row range out of bounds")
+        return self.sa[start:end].copy()
+
+    def size_in_bytes(self) -> int:
+        return self.sa.nbytes
+
+
+class SampledSA:
+    """Every-``k``-th-row SA sample with LF-walk recovery.
+
+    Parameters
+    ----------
+    sa:
+        The full suffix array (consumed at build time; only rows where
+        ``row % k == 0`` are retained).
+    k:
+        Sampling rate; locate costs at most ``k - 1`` LF steps.
+    """
+
+    def __init__(self, sa: np.ndarray, k: int = 32):
+        if k < 1:
+            raise ValueError(f"sampling rate must be >= 1, got {k}")
+        sa = np.asarray(sa, dtype=np.int64)
+        self.k = int(k)
+        self.n_rows = int(sa.size)
+        self.samples = sa[::k].copy()
+
+    def locate(self, row: int, lf) -> int:
+        """Text position of the suffix at ``row``.
+
+        ``lf`` is a callable mapping a row to its last-first image (e.g.
+        :meth:`repro.core.bwt_structure.BWTStructure.lf`).  Each LF step
+        moves to the row of the one-character-longer suffix, i.e. the
+        suffix position decreases... — concretely: if ``row`` holds the
+        suffix starting at text position ``p``, then ``lf(row)`` holds the
+        suffix starting at ``p - 1`` (indices wrap through the sentinel),
+        so after ``s`` steps landing on a sampled row holding position
+        ``q``, the answer is ``q + s`` (mod the text+sentinel length).
+        """
+        if not 0 <= row < self.n_rows:
+            raise IndexError(f"row {row} out of range [0, {self.n_rows})")
+        steps = 0
+        while row % self.k != 0:
+            row = lf(row)
+            steps += 1
+        pos = int(self.samples[row // self.k]) + steps
+        return pos % self.n_rows
+
+    def locate_range(self, start: int, end: int, lf) -> np.ndarray:
+        if not 0 <= start <= end <= self.n_rows:
+            raise IndexError("row range out of bounds")
+        return np.array([self.locate(r, lf) for r in range(start, end)], dtype=np.int64)
+
+    def size_in_bytes(self) -> int:
+        return self.samples.nbytes

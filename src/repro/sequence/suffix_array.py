@@ -1,0 +1,273 @@
+"""Suffix-array construction (paper §III-A, Eq. 1-3).
+
+Three independent builders are provided and cross-checked by the tests:
+
+``naive``
+    Direct sort of the suffixes — O(n² log n).  Trivially correct; the
+    oracle for everything else on small inputs.
+``doubling``
+    Manber-Myers prefix doubling, vectorized with numpy argsort —
+    O(n log² n) with tiny constants; the default for every pipeline in
+    this repository (it comfortably handles the multi-Mbp synthetic
+    references of the benchmarks).
+``sais``
+    The linear-time SA-IS algorithm (induced sorting) in pure Python —
+    the asymptotically optimal reference, matching what production
+    indexers (and the paper's host-side step 1) use.
+
+All builders operate on the 2-bit code arrays of
+:mod:`repro.sequence.alphabet` and return the suffix array of
+``text + '$'`` where the sentinel is lexicographically smallest, exactly
+the convention of the paper's BWT construction (its step 1).  The result
+has length ``n + 1`` and always starts with ``SA[0] == n`` (the sentinel
+suffix).
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+Method = Literal["naive", "doubling", "sais"]
+
+
+def suffix_array(codes: np.ndarray, method: Method = "doubling") -> np.ndarray:
+    """Suffix array of ``codes + [$]`` with ``$`` smallest.
+
+    Parameters
+    ----------
+    codes:
+        Integer symbol codes, each ``>= 0`` (DNA codes are ``0..3``).
+    method:
+        One of ``"naive"``, ``"doubling"``, ``"sais"``.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    if codes.ndim != 1:
+        raise ValueError("codes must be one-dimensional")
+    if codes.size and codes.min() < 0:
+        raise ValueError("symbol codes must be non-negative")
+    # Shift by +1 so 0 is free for the sentinel, then append it.
+    s = np.concatenate([codes + 1, [0]])
+    if method == "naive":
+        return _sa_naive(s)
+    if method == "doubling":
+        return _sa_doubling(s)
+    if method == "sais":
+        return np.asarray(sais(s.tolist(), int(s.max()) + 1), dtype=np.int64)
+    raise ValueError(f"unknown suffix-array method {method!r}")
+
+
+def _sa_naive(s: np.ndarray) -> np.ndarray:
+    seq = s.tolist()
+    order = sorted(range(len(seq)), key=lambda i: seq[i:])
+    return np.asarray(order, dtype=np.int64)
+
+
+def _sa_doubling(s: np.ndarray) -> np.ndarray:
+    n = s.size
+    if n == 1:
+        return np.zeros(1, dtype=np.int64)
+    # Initial ranks: dense symbol ranks.
+    uniq = np.unique(s)
+    rank = np.searchsorted(uniq, s).astype(np.int64)
+    idx = np.arange(n, dtype=np.int64)
+    k = 1
+    while True:
+        # Secondary key: rank of the suffix k positions later, +1 so that
+        # "past the end" (key 0) sorts first — shorter suffixes are smaller
+        # when they are prefixes of longer ones.
+        second = np.zeros(n, dtype=np.int64)
+        has = idx + k < n
+        second[has] = rank[idx[has] + k] + 1
+        key = rank * np.int64(n + 1) + second
+        sa = np.argsort(key, kind="stable")
+        sorted_key = key[sa]
+        new_rank = np.zeros(n, dtype=np.int64)
+        if n > 1:
+            new_rank[sa[1:]] = np.cumsum(sorted_key[1:] != sorted_key[:-1])
+        rank = new_rank
+        if rank[sa[-1]] == n - 1:
+            return sa.astype(np.int64)
+        k *= 2
+
+
+# --------------------------------------------------------------------------
+# SA-IS (Nong, Zhang & Chan, 2009) — pure-Python linear-time construction.
+# --------------------------------------------------------------------------
+
+def sais(s: list[int], sigma: int) -> list[int]:
+    """Linear-time suffix array of ``s`` via induced sorting.
+
+    ``s`` must end with a unique, smallest sentinel (our callers append 0
+    after shifting real symbols to ``>= 1``).  ``sigma`` is the number of
+    distinct symbol values (max symbol + 1).
+    """
+    n = len(s)
+    if n == 0:
+        return []
+    if n == 1:
+        return [0]
+    # 1. Classify each position S-type (True) or L-type (False).
+    t = [False] * n
+    t[n - 1] = True
+    for i in range(n - 2, -1, -1):
+        t[i] = s[i] < s[i + 1] or (s[i] == s[i + 1] and t[i + 1])
+
+    def is_lms(i: int) -> bool:
+        return i > 0 and t[i] and not t[i - 1]
+
+    # Bucket boundaries per symbol.
+    counts = [0] * sigma
+    for ch in s:
+        counts[ch] += 1
+
+    def bucket_heads() -> list[int]:
+        heads = [0] * sigma
+        total = 0
+        for ch in range(sigma):
+            heads[ch] = total
+            total += counts[ch]
+        return heads
+
+    def bucket_tails() -> list[int]:
+        tails = [0] * sigma
+        total = 0
+        for ch in range(sigma):
+            total += counts[ch]
+            tails[ch] = total - 1
+        return tails
+
+    def induce(lms_order: list[int]) -> list[int]:
+        sa = [-1] * n
+        # Place LMS suffixes at their buckets' tails, in the given order
+        # (reversed so earlier entries end up closer to the tail).
+        tails = bucket_tails()
+        for i in reversed(lms_order):
+            ch = s[i]
+            sa[tails[ch]] = i
+            tails[ch] -= 1
+        # Induce L-type from left to right.
+        heads = bucket_heads()
+        for j in range(n):
+            i = sa[j]
+            if i > 0 and not t[i - 1]:
+                ch = s[i - 1]
+                sa[heads[ch]] = i - 1
+                heads[ch] += 1
+        # Induce S-type from right to left.
+        tails = bucket_tails()
+        for j in range(n - 1, -1, -1):
+            i = sa[j]
+            if i > 0 and t[i - 1]:
+                ch = s[i - 1]
+                sa[tails[ch]] = i - 1
+                tails[ch] -= 1
+        return sa
+
+    lms_positions = [i for i in range(n) if is_lms(i)]
+    # 2. First induction from unsorted LMS positions.
+    sa = induce(lms_positions)
+    # 3. Name LMS substrings by their order of appearance in sa.
+    lms_sorted = [i for i in sa if is_lms(i)]
+    names = [-1] * n
+    current = 0
+    names[lms_sorted[0]] = 0
+    for prev, cur in zip(lms_sorted, lms_sorted[1:]):
+        # Compare LMS substrings prev and cur for equality.
+        equal = False
+        for d in range(n):
+            pi, ci = prev + d, cur + d
+            if pi >= n or ci >= n:
+                break
+            p_lms = d > 0 and is_lms(pi)
+            c_lms = d > 0 and is_lms(ci)
+            if p_lms and c_lms:
+                equal = True
+                break
+            if p_lms != c_lms or s[pi] != s[ci] or t[pi] != t[ci]:
+                break
+        if not equal:
+            current += 1
+        names[cur] = current
+    # 4. Recurse if names are not yet unique.
+    reduced = [names[i] for i in lms_positions]
+    if current + 1 == len(lms_positions):
+        order = [0] * len(lms_positions)
+        for rank_i, name in enumerate(reduced):
+            order[name] = lms_positions[rank_i]
+        lms_order = order
+    else:
+        sub_sa = sais(reduced, current + 1)
+        lms_order = [lms_positions[i] for i in sub_sa]
+    # 5. Final induction from the fully sorted LMS suffixes.
+    return induce(lms_order)
+
+
+# --------------------------------------------------------------------------
+# Verification helpers (used by tests and by paranoid pipeline modes).
+# --------------------------------------------------------------------------
+
+def verify_suffix_array(codes: np.ndarray, sa: np.ndarray, sample: int | None = None,
+                        rng: np.random.Generator | None = None) -> bool:
+    """Check Eq. (1): consecutive SA entries name increasing suffixes.
+
+    Compares all adjacent pairs when ``sample`` is None, otherwise a random
+    subset (for large inputs).  Also checks that ``sa`` is a permutation of
+    ``0..n``.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    sa = np.asarray(sa, dtype=np.int64)
+    n = codes.size
+    if sa.size != n + 1:
+        return False
+    if not np.array_equal(np.sort(sa), np.arange(n + 1)):
+        return False
+    s = np.concatenate([codes + 1, [0]])
+    pairs = range(sa.size - 1)
+    if sample is not None and sa.size - 1 > sample:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        pairs = rng.choice(sa.size - 1, size=sample, replace=False)
+    seq = s.tolist()
+    for i in pairs:
+        a, b = int(sa[i]), int(sa[i + 1])
+        if not seq[a:] < seq[b:]:
+            return False
+    return True
+
+
+def rank_array(sa: np.ndarray) -> np.ndarray:
+    """Inverse permutation: ``rank[sa[i]] == i``."""
+    sa = np.asarray(sa, dtype=np.int64)
+    rank = np.empty_like(sa)
+    rank[sa] = np.arange(sa.size, dtype=np.int64)
+    return rank
+
+
+def lcp_array(codes: np.ndarray, sa: np.ndarray) -> np.ndarray:
+    """Longest-common-prefix array (Kasai's algorithm), for diagnostics.
+
+    ``lcp[i]`` is the LCP length of the suffixes at ``sa[i-1]`` and
+    ``sa[i]``; ``lcp[0] == 0``.  Used by the reference generator's repeat
+    statistics and by tests as an independent sortedness witness
+    (``lcp[i] < n`` and mismatching characters must be increasing).
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    s = np.concatenate([codes + 1, [0]])
+    n = s.size
+    sa = np.asarray(sa, dtype=np.int64)
+    rank = rank_array(sa)
+    lcp = np.zeros(n, dtype=np.int64)
+    h = 0
+    for i in range(n):
+        r = rank[i]
+        if r > 0:
+            j = sa[r - 1]
+            while i + h < n and j + h < n and s[i + h] == s[j + h]:
+                h += 1
+            lcp[r] = h
+            if h:
+                h -= 1
+        else:
+            h = 0
+    return lcp

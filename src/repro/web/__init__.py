@@ -1,0 +1,14 @@
+"""The BWaveR web workflow (paper §III-D) as a stdlib WSGI app."""
+
+from .jobs import Job, JobManager, JobStatus
+from .server import BWaveRApp, WebAppError, parse_multipart, serve
+
+__all__ = [
+    "BWaveRApp",
+    "Job",
+    "JobManager",
+    "JobStatus",
+    "WebAppError",
+    "parse_multipart",
+    "serve",
+]

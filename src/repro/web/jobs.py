@@ -1,0 +1,210 @@
+"""Pipeline job management for the BWaveR web workflow (paper §III-D).
+
+A job executes the paper's three steps over an uploaded reference/reads
+pair:
+
+1. *BWT and SA computation* — FASTA → suffix array + BWT;
+2. *BWT encoding* — the succinct structure at the requested (b, sf);
+3. *Sequence mapping* — FASTQ reads through the software mapper or the
+   simulated FPGA accelerator.
+
+Each stage's wall time is recorded on the job (the web UI shows the
+same three-step breakdown as the paper's Fig. 4 coloring), and the
+result is a downloadable hits table.  Jobs run either synchronously
+(``background=False``, used by tests and the WSGI app's default) or on a
+daemon thread.
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Literal
+
+from ..fpga.accelerator import FPGAAccelerator
+from ..index.builder import build_index
+from ..io.fasta import read_fasta_str
+from ..io.fastq import read_fastq_str
+from ..mapper.mapper import Mapper
+from ..mapper.results import mapping_ratio, write_hits_tsv
+
+Device = Literal["cpu", "fpga"]
+
+
+class JobStatus(Enum):
+    """Lifecycle of a pipeline job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    ERROR = "error"
+
+
+@dataclass
+class Job:
+    """One pipeline execution and its lifecycle."""
+
+    job_id: int
+    reference_fasta: str
+    reads_fastq: str
+    b: int = 15
+    sf: int = 50
+    device: Device = "fpga"
+    status: JobStatus = JobStatus.QUEUED
+    error: str = ""
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    n_reads: int = 0
+    n_mapped: int = 0
+    reference_name: str = ""
+    reference_length: int = 0
+    modeled_device_seconds: float | None = None
+    results_tsv: str = ""
+    results_sam: str = ""
+    qc: dict = field(default_factory=dict)
+    qc_warnings: list[str] = field(default_factory=list)
+
+    def summary(self) -> dict:
+        """JSON-able status document served by ``GET /jobs/<id>``."""
+        return {
+            "job_id": self.job_id,
+            "status": self.status.value,
+            "error": self.error,
+            "device": self.device,
+            "b": self.b,
+            "sf": self.sf,
+            "reference": self.reference_name,
+            "reference_length": self.reference_length,
+            "n_reads": self.n_reads,
+            "n_mapped": self.n_mapped,
+            "mapping_ratio": (self.n_mapped / self.n_reads) if self.n_reads else 0.0,
+            "stage_seconds": dict(self.stage_seconds),
+            "modeled_device_seconds": self.modeled_device_seconds,
+            "qc": dict(self.qc),
+            "qc_warnings": list(self.qc_warnings),
+        }
+
+
+class JobManager:
+    """Creates, runs and looks up jobs."""
+
+    def __init__(self):
+        self._jobs: dict[int, Job] = {}
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def submit(
+        self,
+        reference_fasta: str,
+        reads_fastq: str,
+        b: int = 15,
+        sf: int = 50,
+        device: Device = "fpga",
+        background: bool = False,
+    ) -> Job:
+        if device not in ("cpu", "fpga"):
+            raise ValueError(f"unknown device {device!r} (expected 'cpu' or 'fpga')")
+        with self._lock:
+            job = Job(
+                job_id=next(self._ids),
+                reference_fasta=reference_fasta,
+                reads_fastq=reads_fastq,
+                b=int(b),
+                sf=int(sf),
+                device=device,
+            )
+            self._jobs[job.job_id] = job
+        if background:
+            threading.Thread(target=self._run, args=(job,), daemon=True).start()
+        else:
+            self._run(job)
+        return job
+
+    def get(self, job_id: int) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def all_jobs(self) -> list[Job]:
+        return sorted(self._jobs.values(), key=lambda j: j.job_id)
+
+    # -- pipeline ---------------------------------------------------------------
+
+    def _run(self, job: Job) -> None:
+        job.status = JobStatus.RUNNING
+        try:
+            self._execute(job)
+            job.status = JobStatus.DONE
+        except Exception as exc:  # surface any stage failure on the job
+            job.status = JobStatus.ERROR
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.stage_seconds.setdefault("failed_at", time.time())
+            job.results_tsv = ""
+            # Keep the traceback server-side for debugging, not in the UI.
+            job._traceback = traceback.format_exc()  # type: ignore[attr-defined]
+
+    def _execute(self, job: Job) -> None:
+        records = read_fasta_str(job.reference_fasta, on_invalid="random")
+        if not records:
+            raise ValueError("reference FASTA contains no records")
+        ref = records[0]
+        if len(records) > 1:
+            raise ValueError(
+                "multi-record references are not supported; upload one sequence"
+            )
+        if not ref.sequence:
+            raise ValueError(f"reference {ref.name!r} is empty")
+        job.reference_name = ref.name
+        job.reference_length = len(ref.sequence)
+
+        reads = read_fastq_str(job.reads_fastq)
+        if not reads:
+            raise ValueError("reads FASTQ contains no records")
+        job.n_reads = len(reads)
+
+        # QC pass before spending build/map time; warnings surface on the
+        # status document but never block the job.
+        from ..io.qc import qc_reads
+
+        qc = qc_reads(reads)
+        job.qc = qc.to_dict()
+        job.qc_warnings = qc.warnings()
+
+        # Step 1 + 2: build (the builder reports both stage times).
+        index, report = build_index(ref.sequence, b=job.b, sf=job.sf)
+        job.stage_seconds["bwt_sa_computation"] = report.sa_bwt_seconds
+        job.stage_seconds["bwt_encoding"] = report.encode_seconds
+
+        # Step 3: mapping, on the requested device.
+        seqs = [r.sequence for r in reads]
+        names = [r.name for r in reads]
+        t0 = time.perf_counter()
+        if job.device == "fpga":
+            acc = FPGAAccelerator.for_index(index)
+            run = acc.map_batch(seqs)
+            job.modeled_device_seconds = run.modeled_seconds
+            # Host-side locate from the returned intervals.
+            mapper = Mapper(index, locate=True)
+            results = mapper.map_reads(seqs, names=names)
+        else:
+            mapper = Mapper(index, locate=True)
+            results = mapper.map_reads(seqs, names=names)
+        job.stage_seconds["sequence_mapping"] = time.perf_counter() - t0
+
+        job.n_mapped = round(mapping_ratio(results) * len(results))
+        buf = io.StringIO()
+        write_hits_tsv(results, buf)
+        job.results_tsv = buf.getvalue()
+        sam_buf = io.StringIO()
+        from ..mapper.sam import write_sam_single
+
+        write_sam_single(
+            results,
+            seqs,
+            sam_buf,
+            reference_name=job.reference_name,
+            reference_length=job.reference_length,
+        )
+        job.results_sam = sam_buf.getvalue()

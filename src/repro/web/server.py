@@ -1,0 +1,252 @@
+"""WSGI application for the BWaveR web workflow.
+
+The paper exposes the mapper "through an intuitive web application"
+backed by "a Python web-server, built with Flask".  Flask is unavailable
+offline, so this is a dependency-free WSGI app with the same surface:
+
+* ``GET /`` — upload form (reference FASTA + reads FASTQ + b/sf/device);
+* ``POST /jobs`` — submit a job; accepts ``application/json`` (fields
+  ``reference_fasta``, ``reads_fastq``, ``b``, ``sf``, ``device``;
+  file contents optionally gzip+base64 with ``*_gzip_b64`` keys — the
+  paper accepts gzipped uploads) or ``multipart/form-data`` from the
+  HTML form;
+* ``GET /jobs`` — JSON list of jobs;
+* ``GET /jobs/<id>`` — JSON status with the three-step timing breakdown;
+* ``GET /jobs/<id>/results`` — the hits TSV download;
+* ``GET /health`` — liveness probe.
+
+Tests drive the app directly through the WSGI callable; ``serve()``
+wraps it in :mod:`wsgiref.simple_server` for interactive use
+(``examples/webapp_demo.py``).
+"""
+
+from __future__ import annotations
+
+import base64
+import gzip
+import json
+import re
+from typing import Callable, Iterable
+
+from .jobs import JobManager
+
+_FORM_HTML = """<!doctype html>
+<html><head><title>BWaveR — hybrid DNA sequence mapper</title></head>
+<body>
+<h1>BWaveR (reproduction)</h1>
+<p>Upload a reference (FASTA) and reads (FASTQ), pick the RRR parameters
+and the execution device, and download the mapped positions.</p>
+<form method="post" action="/jobs" enctype="multipart/form-data">
+  <p>Reference FASTA: <input type="file" name="reference_fasta"></p>
+  <p>Reads FASTQ: <input type="file" name="reads_fastq"></p>
+  <p>Block size b: <input type="number" name="b" value="15" min="1" max="24"></p>
+  <p>Superblock factor sf: <input type="number" name="sf" value="50" min="1"></p>
+  <p>Device:
+    <select name="device">
+      <option value="fpga">FPGA (simulated Alveo U200)</option>
+      <option value="cpu">CPU</option>
+    </select></p>
+  <p><input type="submit" value="Map"></p>
+</form>
+</body></html>
+"""
+
+
+class WebAppError(ValueError):
+    """Client errors mapped to HTTP 400."""
+
+
+def _maybe_gunzip_b64(payload: dict, key: str) -> str | None:
+    """Fetch ``key`` from the JSON body, or ``key + '_gzip_b64'`` decoded."""
+    if key in payload:
+        value = payload[key]
+        if not isinstance(value, str):
+            raise WebAppError(f"field {key!r} must be a string")
+        return value
+    gz_key = f"{key}_gzip_b64"
+    if gz_key in payload:
+        try:
+            return gzip.decompress(base64.b64decode(payload[gz_key])).decode("utf-8")
+        except Exception as exc:
+            raise WebAppError(f"field {gz_key!r} is not valid gzip+base64: {exc}") from exc
+    return None
+
+
+def parse_multipart(body: bytes, content_type: str) -> dict[str, str]:
+    """Minimal multipart/form-data parser (text fields and file parts)."""
+    m = re.search(r'boundary="?([^";]+)"?', content_type)
+    if not m:
+        raise WebAppError("multipart body without boundary")
+    boundary = m.group(1).encode()
+    fields: dict[str, str] = {}
+    for part in body.split(b"--" + boundary):
+        part = part.strip()
+        if not part or part == b"--":
+            continue
+        if b"\r\n\r\n" in part:
+            head, _, content = part.partition(b"\r\n\r\n")
+        elif b"\n\n" in part:
+            head, _, content = part.partition(b"\n\n")
+        else:
+            continue
+        name_m = re.search(rb'name="([^"]+)"', head)
+        if not name_m:
+            continue
+        name = name_m.group(1).decode()
+        data = content.rstrip(b"\r\n")
+        if data[:2] == b"\x1f\x8b":  # gzipped file part
+            data = gzip.decompress(data)
+        fields[name] = data.decode("utf-8", errors="replace")
+    return fields
+
+
+class BWaveRApp:
+    """The WSGI callable."""
+
+    def __init__(self, background_jobs: bool = False):
+        self.jobs = JobManager()
+        self.background_jobs = background_jobs
+
+    # -- WSGI entry ---------------------------------------------------------
+
+    def __call__(self, environ: dict, start_response: Callable) -> Iterable[bytes]:
+        try:
+            status, headers, body = self._route(environ)
+        except WebAppError as exc:
+            status, headers, body = self._json(400, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive 500
+            status, headers, body = self._json(
+                500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+        start_response(status, headers)
+        return [body]
+
+    # -- routing ----------------------------------------------------------------
+
+    def _route(self, environ: dict) -> tuple[str, list, bytes]:
+        method = environ.get("REQUEST_METHOD", "GET")
+        path = environ.get("PATH_INFO", "/")
+        if method == "GET" and path == "/":
+            return "200 OK", [("Content-Type", "text/html; charset=utf-8")], _FORM_HTML.encode()
+        if method == "GET" and path == "/health":
+            return self._json(200, {"status": "ok"})
+        if method == "POST" and path == "/jobs":
+            return self._submit(environ)
+        if method == "GET" and path == "/jobs":
+            return self._json(200, {"jobs": [j.summary() for j in self.jobs.all_jobs()]})
+        m = re.fullmatch(r"/jobs/(\d+)", path)
+        if method == "GET" and m:
+            job = self.jobs.get(int(m.group(1)))
+            if job is None:
+                return self._json(404, {"error": f"no job {m.group(1)}"})
+            return self._json(200, job.summary())
+        m = re.fullmatch(r"/jobs/(\d+)/results", path)
+        if method == "GET" and m:
+            job = self.jobs.get(int(m.group(1)))
+            if job is None:
+                return self._json(404, {"error": f"no job {m.group(1)}"})
+            if job.status.value != "done":
+                return self._json(409, {"error": f"job is {job.status.value}"})
+            return (
+                "200 OK",
+                [
+                    ("Content-Type", "text/tab-separated-values; charset=utf-8"),
+                    (
+                        "Content-Disposition",
+                        f'attachment; filename="bwaver_job{job.job_id}_hits.tsv"',
+                    ),
+                ],
+                job.results_tsv.encode(),
+            )
+        m = re.fullmatch(r"/jobs/(\d+)/sam", path)
+        if method == "GET" and m:
+            job = self.jobs.get(int(m.group(1)))
+            if job is None:
+                return self._json(404, {"error": f"no job {m.group(1)}"})
+            if job.status.value != "done":
+                return self._json(409, {"error": f"job is {job.status.value}"})
+            return (
+                "200 OK",
+                [
+                    ("Content-Type", "text/x-sam; charset=utf-8"),
+                    (
+                        "Content-Disposition",
+                        f'attachment; filename="bwaver_job{job.job_id}.sam"',
+                    ),
+                ],
+                job.results_sam.encode(),
+            )
+        return self._json(404, {"error": f"no route for {method} {path}"})
+
+    # -- handlers ------------------------------------------------------------------
+
+    def _submit(self, environ: dict) -> tuple[str, list, bytes]:
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except ValueError:
+            length = 0
+        body = environ["wsgi.input"].read(length) if length else b""
+        ctype = environ.get("CONTENT_TYPE", "")
+        if ctype.startswith("application/json"):
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except json.JSONDecodeError as exc:
+                raise WebAppError(f"invalid JSON body: {exc}") from exc
+            if not isinstance(payload, dict):
+                raise WebAppError("JSON body must be an object")
+            reference = _maybe_gunzip_b64(payload, "reference_fasta")
+            reads = _maybe_gunzip_b64(payload, "reads_fastq")
+            b = payload.get("b", 15)
+            sf = payload.get("sf", 50)
+            device = payload.get("device", "fpga")
+        elif ctype.startswith("multipart/form-data"):
+            fields = parse_multipart(body, ctype)
+            reference = fields.get("reference_fasta")
+            reads = fields.get("reads_fastq")
+            b = fields.get("b", "15")
+            sf = fields.get("sf", "50")
+            device = fields.get("device", "fpga")
+        else:
+            raise WebAppError(
+                f"unsupported content type {ctype!r}; use application/json "
+                f"or multipart/form-data"
+            )
+        if not reference:
+            raise WebAppError("missing reference_fasta")
+        if not reads:
+            raise WebAppError("missing reads_fastq")
+        try:
+            b_i, sf_i = int(b), int(sf)
+        except (TypeError, ValueError) as exc:
+            raise WebAppError(f"b and sf must be integers: {exc}") from exc
+        if device not in ("cpu", "fpga"):
+            raise WebAppError(f"unknown device {device!r}")
+        job = self.jobs.submit(
+            reference_fasta=reference,
+            reads_fastq=reads,
+            b=b_i,
+            sf=sf_i,
+            device=device,  # type: ignore[arg-type]
+            background=self.background_jobs,
+        )
+        return self._json(201, job.summary())
+
+    @staticmethod
+    def _json(code: int, doc: dict) -> tuple[str, list, bytes]:
+        reasons = {200: "OK", 201: "Created", 400: "Bad Request",
+                   404: "Not Found", 409: "Conflict", 500: "Internal Server Error"}
+        return (
+            f"{code} {reasons.get(code, 'Unknown')}",
+            [("Content-Type", "application/json; charset=utf-8")],
+            json.dumps(doc).encode(),
+        )
+
+
+def serve(host: str = "127.0.0.1", port: int = 8080, background_jobs: bool = True):
+    """Run the app under wsgiref (blocking); returns never."""
+    from wsgiref.simple_server import make_server
+
+    app = BWaveRApp(background_jobs=background_jobs)
+    with make_server(host, port, app) as httpd:
+        print(f"BWaveR web app listening on http://{host}:{port}/")
+        httpd.serve_forever()

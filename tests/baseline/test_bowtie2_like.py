@@ -1,0 +1,111 @@
+"""Unit tests for the Bowtie2-equivalent baseline and thread model."""
+
+import numpy as np
+import pytest
+
+from repro import build_index
+from repro.baseline.bowtie2_like import Bowtie2Like, assert_same_accuracy
+from repro.baseline.threading_model import (
+    PAPER_FITTED_SERIAL_FRACTION,
+    AmdahlModel,
+)
+from repro.mapper.mapper import Mapper
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(61)
+    text = "".join("ACGT"[c] for c in rng.integers(0, 4, 1500))
+    return text, Bowtie2Like(text)
+
+
+class TestBowtie2Like:
+    def test_maps_exactly_like_bwaver(self, setup):
+        text, bowtie = setup
+        succinct, _ = build_index(text, b=15, sf=8)
+        mapper = Mapper(succinct, locate=False)
+        reads = [text[i : i + 36] for i in range(0, 1200, 97)] + ["ACGT" * 9]
+        ours = mapper.map_reads(reads)
+        theirs = bowtie.map_reads(reads).results
+        assert_same_accuracy(ours, theirs)
+
+    def test_report_fields(self, setup):
+        text, bowtie = setup
+        report = bowtie.map_reads([text[0:30], "ACGT" * 10])
+        assert report.n_reads == 2
+        assert report.mapping_ratio == pytest.approx(0.5)
+        assert report.wall_seconds > 0
+        assert report.op_counts["occ_checkpoint_ranks"] > 0
+
+    def test_locate_via_sampled_sa(self, setup):
+        text, _ = setup
+        bowtie = Bowtie2Like(text, sa_sample_rate=8)
+        report = bowtie.map_reads([text[40:80]], locate=True)
+        assert 40 in report.results[0].forward.positions.tolist()
+
+    def test_index_smaller_than_full_sa(self, setup):
+        text, bowtie = setup
+        # Sampled SA (k=32) is far smaller than the full one.
+        assert bowtie.size_in_bytes() < len(text) * 8
+
+    def test_projected_seconds(self, setup):
+        _, bowtie = setup
+        t16 = bowtie.projected_seconds(160.0, 16)
+        assert 10.0 < t16 < 160.0
+
+    def test_accepts_code_array(self, setup):
+        text, _ = setup
+        from repro.sequence.alphabet import encode
+
+        b = Bowtie2Like(encode(text))
+        assert b.index.count(text[10:30]) >= 1
+
+
+class TestAssertSameAccuracy:
+    def test_detects_count_mismatch(self, setup):
+        text, bowtie = setup
+        succinct, _ = build_index(text, b=15, sf=8)
+        mapper = Mapper(succinct, locate=False)
+        a = mapper.map_reads([text[0:30]])  # maps: counts (1, 0)
+        b = mapper.map_reads(["ACGT" * 9])  # unmapped: counts (0, 0)
+        assert a[0].forward.count != b[0].forward.count
+        with pytest.raises(AssertionError, match="differ"):
+            assert_same_accuracy(a, b)
+
+    def test_detects_length_mismatch(self):
+        with pytest.raises(AssertionError, match="result counts"):
+            assert_same_accuracy([1], [])
+
+
+class TestAmdahlModel:
+    def test_speedup_at_one(self):
+        assert AmdahlModel().speedup(1) == pytest.approx(1.0)
+
+    def test_reproduces_paper_bowtie2_scaling(self):
+        """The fitted s must recover the paper's 8/16-thread speedups."""
+        m = AmdahlModel(PAPER_FITTED_SERIAL_FRACTION)
+        assert m.speedup(8) == pytest.approx(176_683 / 23_016, rel=0.05)
+        assert m.speedup(16) == pytest.approx(176_683 / 11_542, rel=0.05)
+
+    def test_fit_inverts(self):
+        m = AmdahlModel(0.01)
+        s = m.fit_serial_fraction(16, m.speedup(16))
+        assert s == pytest.approx(0.01, rel=1e-6)
+
+    def test_fit_validation(self):
+        m = AmdahlModel()
+        with pytest.raises(ValueError):
+            m.fit_serial_fraction(1, 1.0)
+        with pytest.raises(ValueError):
+            m.fit_serial_fraction(8, 0.0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            AmdahlModel(1.0)
+        with pytest.raises(ValueError):
+            AmdahlModel(-0.1)
+
+    def test_seconds_monotone_in_threads(self):
+        m = AmdahlModel()
+        times = [m.seconds(100.0, p) for p in [1, 2, 4, 8, 16]]
+        assert times == sorted(times, reverse=True)

@@ -1,0 +1,102 @@
+"""Unit tests for the hash-table mapper baselines (paper §II competitors)."""
+
+import numpy as np
+import pytest
+
+from repro import build_index
+from repro.baseline.hash_mapper import KmerHashMapper, ReadIndexedHashMapper
+from repro.baseline.naive import find_all
+from repro.mapper.mapper import Mapper
+
+
+@pytest.fixture(scope="module")
+def reference():
+    rng = np.random.default_rng(121)
+    return "".join("ACGT"[c] for c in rng.integers(0, 4, 4000))
+
+
+@pytest.fixture(scope="module")
+def hash_mapper(reference):
+    return KmerHashMapper(reference, k=16)
+
+
+class TestKmerHashMapper:
+    def test_rejects_bad_k(self, reference):
+        with pytest.raises(ValueError):
+            KmerHashMapper(reference, k=0)
+        with pytest.raises(ValueError):
+            KmerHashMapper(reference, k=32)
+
+    def test_locate_matches_oracle(self, reference, hash_mapper):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            start = int(rng.integers(0, len(reference) - 40))
+            pat = reference[start : start + 40]
+            assert hash_mapper.locate(pat) == find_all(reference, pat)
+
+    def test_short_pattern_fallback(self, reference, hash_mapper):
+        pat = reference[10:18]  # shorter than k=16
+        assert hash_mapper.locate(pat) == find_all(reference, pat)
+
+    def test_absent_pattern(self, reference, hash_mapper):
+        pat = "ACGT" * 10
+        assert pat not in reference
+        assert hash_mapper.locate(pat) == []
+
+    def test_agrees_with_fm_index(self, reference, hash_mapper):
+        index, _ = build_index(reference, sf=8)
+        mapper = Mapper(index)
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            start = int(rng.integers(0, len(reference) - 50))
+            read = reference[start : start + 50]
+            fm = mapper.map_read(read)
+            hm = hash_mapper.map_read(read)
+            assert hm["+"] == fm.forward.positions.tolist()
+            assert hm["-"] == fm.reverse.positions.tolist()
+
+    def test_empty_pattern(self, reference, hash_mapper):
+        assert len(hash_mapper.locate("")) == len(reference) + 1
+
+    def test_stats_memory_exceeds_succinct(self, reference, hash_mapper):
+        """The paper's memory argument: hash tables pay ~10s of bytes per
+        base; the succinct structure pays a fraction of one."""
+        stats = hash_mapper.stats()
+        assert stats.n_positions == len(reference) - 16 + 1
+        assert stats.bytes_per_base > 8.0
+        index, report = build_index(reference, b=15, sf=100)
+        succinct_payload = index.backend.tree.size_in_bytes(include_shared=False)
+        assert succinct_payload / len(reference) < 1.0
+        assert stats.table_bytes > 10 * succinct_payload
+
+
+class TestReadIndexedHashMapper:
+    def test_finds_reads_in_reference(self, reference):
+        reads = [reference[i : i + 30] for i in (100, 700, 1500)]
+        mapper = ReadIndexedHashMapper(reads)
+        hits = mapper.scan(reference)
+        for rid, pos in zip(range(3), (100, 700, 1500)):
+            assert pos in hits[rid]
+
+    def test_reverse_complement_found(self, reference):
+        from repro.sequence.alphabet import reverse_complement
+
+        reads = [reverse_complement(reference[200:230])]
+        hits = ReadIndexedHashMapper(reads).scan(reference)
+        assert 200 in hits[0]
+
+    def test_memory_grows_with_read_count(self, reference):
+        """The paper's scaling claim, measured."""
+        reads_small = [reference[i : i + 30] for i in range(0, 300, 10)]
+        reads_large = [reference[i : i + 30] for i in range(0, 3000, 10)]
+        small = ReadIndexedHashMapper(reads_small).index_bytes()
+        large = ReadIndexedHashMapper(reads_large).index_bytes()
+        assert large > 5 * small  # ~10x the reads -> ~10x the memory
+
+    def test_rejects_mixed_lengths(self):
+        with pytest.raises(ValueError, match="one length"):
+            ReadIndexedHashMapper(["ACGT", "ACGTA"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ReadIndexedHashMapper([])

@@ -1,0 +1,72 @@
+"""Unit tests for the brute-force oracles themselves."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.naive import (
+    NaiveRank,
+    count_occurrences,
+    find_all,
+    find_all_both_strands,
+    find_with_mismatches,
+)
+
+
+class TestFindAll:
+    def test_overlapping(self):
+        assert find_all("AAAA", "AA") == [0, 1, 2]
+
+    def test_absent(self):
+        assert find_all("ACGT", "TT") == []
+
+    def test_empty_pattern(self):
+        assert find_all("ACG", "") == [0, 1, 2, 3]
+
+    def test_count(self):
+        assert count_occurrences("ACACAC", "ACA") == 2
+
+    def test_both_strands(self):
+        fwd, rc = find_all_both_strands("ACGTTT", "AAA")
+        assert fwd == []
+        assert rc == [3]  # revcomp(AAA)=TTT at position 3
+
+
+class TestFindWithMismatches:
+    def test_zero_k_equals_exact(self):
+        text = "ACGTACGT"
+        assert [(p, 0) for p in find_all(text, "GTA")] == find_with_mismatches(
+            text, "GTA", 0
+        )
+
+    def test_distances_reported(self):
+        hits = find_with_mismatches("ACGT", "ACTT", 1)
+        assert hits == [(0, 1)]
+
+    def test_pattern_longer_than_text(self):
+        assert find_with_mismatches("AC", "ACGT", 2) == []
+
+    def test_empty_pattern(self):
+        assert find_with_mismatches("AC", "", 0) == []
+
+
+class TestNaiveRank:
+    def test_rank(self):
+        nr = NaiveRank([0, 1, 0, 2, 0])
+        assert nr.rank(0, 5) == 3
+        assert nr.rank(0, 0) == 0
+        assert nr.rank(2, 4) == 1
+
+    def test_rank_bounds(self):
+        nr = NaiveRank([0, 1])
+        with pytest.raises(IndexError):
+            nr.rank(0, 3)
+
+    def test_select(self):
+        nr = NaiveRank([0, 1, 0, 1, 1])
+        assert nr.select(1, 1) == 1
+        assert nr.select(1, 3) == 4
+
+    def test_select_bounds(self):
+        nr = NaiveRank([0, 1])
+        with pytest.raises(IndexError):
+            nr.select(1, 2)

@@ -1,0 +1,71 @@
+"""Smoke tests for the Table I/II harness at tiny scale.
+
+The benches run the full-scale versions; these tests verify the harness
+mechanics (engine set, paper-scale extrapolation, accuracy gate, power
+arithmetic) quickly enough for the unit suite.
+"""
+
+import pytest
+
+from repro.bench.harness import experiment_table
+
+TINY = dict(n_sample=120, scale=0.002, read_length=35, mapping_ratio=0.75)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return experiment_table(
+        profile="ecoli", paper_read_counts=(1_000_000,), **TINY
+    )
+
+
+class TestTableHarness:
+    def test_all_engines_present(self, rows):
+        engines = {r["engine"] for r in rows}
+        assert engines == {
+            "fpga",
+            "bwaver_cpu",
+            "bowtie2_1t",
+            "bowtie2_8t",
+            "bowtie2_16t",
+        }
+
+    def test_fpga_is_anchor(self, rows):
+        fpga = next(r for r in rows if r["engine"] == "fpga")
+        assert fpga["speedup_vs_fpga"] == pytest.approx(1.0)
+        assert fpga["power_eff_vs_fpga"] == pytest.approx(1.0)
+
+    def test_thread_ordering(self, rows):
+        by = {r["engine"]: r["modeled_ms"] for r in rows}
+        assert by["bowtie2_1t"] > by["bowtie2_8t"] > by["bowtie2_16t"]
+
+    def test_power_arithmetic(self, rows):
+        for r in rows:
+            if r["engine"] == "fpga":
+                continue
+            assert r["power_eff_vs_fpga"] == pytest.approx(
+                r["speedup_vs_fpga"] * 135 / 25, rel=0.01
+            )
+
+    def test_mapping_ratio_propagated(self, rows):
+        assert rows[0]["mapping_ratio"] == pytest.approx(0.75, abs=0.02)
+
+    def test_multiple_read_counts(self):
+        rows = experiment_table(
+            profile="ecoli", paper_read_counts=(1_000_000, 10_000_000), **TINY
+        )
+        counts = {r["reads"] for r in rows}
+        assert counts == {1_000_000, 10_000_000}
+        # Amortization: FPGA reads/s better at the larger count.
+        fpga = {r["reads"]: r["modeled_ms"] for r in rows if r["engine"] == "fpga"}
+        assert (10_000_000 / fpga[10_000_000]) > (1_000_000 / fpga[1_000_000])
+
+    def test_accuracy_gate_runs(self):
+        # check_accuracy=True is the default; an explicit False must also work.
+        rows = experiment_table(
+            profile="ecoli",
+            paper_read_counts=(1_000_000,),
+            check_accuracy=False,
+            **TINY,
+        )
+        assert rows

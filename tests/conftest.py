@@ -1,0 +1,60 @@
+"""Shared fixtures: deterministic sequences and prebuilt indexes.
+
+Session-scoped indexes keep the suite fast — the structures are immutable
+after construction, and tests that need instrumentation attach their own
+counter scopes rather than mutating shared state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import build_index
+from repro.core.counters import OpCounters
+from repro.sequence.alphabet import decode
+
+
+def make_dna(n: int, seed: int = 0, gc: float = 0.5) -> str:
+    rng = np.random.default_rng(seed)
+    at = (1 - gc) / 2
+    gcp = gc / 2
+    return decode(rng.choice(4, size=n, p=[at, gcp, gcp, at]).astype(np.uint8))
+
+
+@pytest.fixture(scope="session")
+def small_text() -> str:
+    """~2 kbp of deterministic random DNA."""
+    return make_dna(2000, seed=42)
+
+
+@pytest.fixture(scope="session")
+def repetitive_text() -> str:
+    """DNA with strong repeat structure (low BWT entropy)."""
+    unit = make_dna(100, seed=7)
+    return (unit * 12) + make_dna(400, seed=8) + unit[:50] * 4
+
+
+@pytest.fixture(scope="session")
+def small_index(small_text):
+    """Succinct-backend index over ``small_text`` (b=15, sf=8)."""
+    index, report = build_index(small_text, b=15, sf=8, counters=OpCounters())
+    return index
+
+
+@pytest.fixture(scope="session")
+def small_index_report(small_text):
+    index, report = build_index(small_text, b=15, sf=8, counters=OpCounters())
+    return index, report
+
+
+@pytest.fixture(scope="session")
+def occ_index(small_text):
+    """Checkpointed-Occ-backend index over the same text."""
+    index, _ = build_index(small_text, backend="occ", counters=OpCounters())
+    return index
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,120 @@
+"""Unit tests for the variable-width bit stream."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitio import BitWriter, pack_fields, read_field, read_fields
+
+
+class TestPackFields:
+    def test_empty(self):
+        words, n = pack_fields(np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.int64))
+        assert n == 0 and words.size == 0
+
+    def test_single_field(self):
+        words, n = pack_fields(np.array([0b101], dtype=np.uint64), np.array([3]))
+        assert n == 3
+        assert int(words[0]) & 0b111 == 0b101
+
+    def test_zero_width_fields_skipped(self):
+        words, n = pack_fields(
+            np.array([0, 5, 0], dtype=np.uint64), np.array([0, 3, 0])
+        )
+        assert n == 3
+        assert read_field(words, 0, 3) == 5
+
+    def test_zero_width_nonzero_value_rejected(self):
+        with pytest.raises(ValueError, match="zero-width"):
+            pack_fields(np.array([1], dtype=np.uint64), np.array([0]))
+
+    def test_width_over_63_rejected(self):
+        with pytest.raises(ValueError, match="63"):
+            pack_fields(np.array([0], dtype=np.uint64), np.array([64]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same shape"):
+            pack_fields(np.array([0, 1], dtype=np.uint64), np.array([1]))
+
+    def test_matches_bitwriter_oracle(self):
+        rng = np.random.default_rng(0)
+        widths = rng.integers(0, 20, size=100)
+        values = np.array(
+            [rng.integers(0, 1 << w) if w else 0 for w in widths], dtype=np.uint64
+        )
+        words, n = pack_fields(values, widths)
+        writer = BitWriter()
+        for v, w in zip(values, widths):
+            writer.write(int(v), int(w))
+        oracle_words, oracle_n = writer.to_words()
+        assert n == oracle_n
+        assert np.array_equal(words, oracle_words)
+
+
+class TestReadField:
+    def test_roundtrip_random(self):
+        rng = np.random.default_rng(1)
+        widths = rng.integers(1, 40, size=200)
+        values = np.array([rng.integers(0, 1 << w) for w in widths], dtype=np.uint64)
+        words, _ = pack_fields(values, widths)
+        pos = 0
+        for v, w in zip(values, widths):
+            assert read_field(words, pos, int(w)) == int(v)
+            pos += int(w)
+
+    def test_cross_word_boundary(self):
+        # A 10-bit field starting at bit 60 spans two words.
+        widths = np.array([60, 10])
+        values = np.array([0, 0b1010101010], dtype=np.uint64)
+        words, _ = pack_fields(values, widths)
+        assert read_field(words, 60, 10) == 0b1010101010
+
+    def test_zero_width_returns_zero(self):
+        words = np.array([0xFF], dtype=np.uint64)
+        assert read_field(words, 3, 0) == 0
+
+
+class TestReadFields:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(2)
+        widths = rng.integers(0, 33, size=300)
+        values = np.array(
+            [rng.integers(0, 1 << w) if w else 0 for w in widths], dtype=np.uint64
+        )
+        words, _ = pack_fields(values, widths)
+        starts = np.concatenate(([0], np.cumsum(widths)))[:-1]
+        got = read_fields(words, starts, widths)
+        assert np.array_equal(got, values.astype(np.int64))
+
+    def test_empty_stream_zero_width(self):
+        # All widths zero: no words at all, every read must return 0.
+        widths = np.zeros(5, dtype=np.int64)
+        words, n = pack_fields(np.zeros(5, dtype=np.uint64), widths)
+        assert n == 0
+        got = read_fields(words, np.zeros(5, dtype=np.int64), widths)
+        assert np.array_equal(got, np.zeros(5, dtype=np.int64))
+
+    def test_field_ending_on_last_bit(self):
+        widths = np.array([64 - 7, 7])
+        values = np.array([1, 0b1111111], dtype=np.uint64)
+        words, n = pack_fields(values, widths)
+        assert n == 64
+        got = read_fields(words, np.array([0, 57]), widths)
+        assert got.tolist() == [1, 127]
+
+
+class TestBitWriter:
+    def test_rejects_oversized_value(self):
+        w = BitWriter()
+        with pytest.raises(ValueError, match="does not fit"):
+            w.write(8, 3)
+
+    def test_rejects_negative_width(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write(0, -1)
+
+    def test_bit_length_tracks(self):
+        w = BitWriter()
+        w.write(3, 2)
+        w.write(0, 5)
+        assert w.bit_length == 7

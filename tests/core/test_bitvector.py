@@ -1,0 +1,176 @@
+"""Unit tests for the packed bit-vector."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitvector import (
+    BitVector,
+    bits_from_sequence,
+    pack_bits,
+    popcount_scalar,
+    popcount_u64,
+    unpack_bits,
+)
+
+
+class TestPopcount:
+    def test_scalar_known_values(self):
+        assert popcount_scalar(0) == 0
+        assert popcount_scalar(0xFF) == 8
+        assert popcount_scalar(0xFFFFFFFFFFFFFFFF) == 64
+        assert popcount_scalar(0b1011) == 3
+
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        words = rng.integers(0, 2**63, size=200, dtype=np.int64).astype(np.uint64)
+        expected = np.array([popcount_scalar(int(w)) for w in words])
+        assert np.array_equal(popcount_u64(words), expected)
+
+    def test_vectorized_extremes(self):
+        words = np.array([0, 0xFFFFFFFFFFFFFFFF, 1, 1 << 63], dtype=np.uint64)
+        assert popcount_u64(words).tolist() == [0, 64, 1, 1]
+
+
+class TestPacking:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(1)
+        for n in [0, 1, 63, 64, 65, 200, 1000]:
+            bits = rng.integers(0, 2, n).astype(np.uint8)
+            assert np.array_equal(unpack_bits(pack_bits(bits), n), bits)
+
+    def test_lsb_first_convention(self):
+        # Bit 0 set -> word value 1; bit 1 set -> word value 2.
+        assert int(pack_bits(np.array([1, 0]))[0]) == 1
+        assert int(pack_bits(np.array([0, 1]))[0]) == 2
+
+
+class TestBitVector:
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError, match="0 or 1"):
+            BitVector([0, 1, 2])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            BitVector(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_len_and_getitem(self):
+        bv = BitVector([1, 0, 1, 1, 0])
+        assert len(bv) == 5
+        assert [bv[i] for i in range(5)] == [1, 0, 1, 1, 0]
+
+    def test_getitem_out_of_range(self):
+        bv = BitVector([1, 0])
+        with pytest.raises(IndexError):
+            bv[2]
+        with pytest.raises(IndexError):
+            bv[-1]
+
+    def test_rank1_matches_cumsum(self):
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, 500).astype(np.uint8)
+        bv = BitVector(bits)
+        cum = np.concatenate(([0], np.cumsum(bits)))
+        for p in range(501):
+            assert bv.rank1(p) == cum[p]
+
+    def test_rank0_complements_rank1(self):
+        bv = BitVector([1, 1, 0, 1, 0, 0])
+        for p in range(7):
+            assert bv.rank0(p) + bv.rank1(p) == p
+
+    def test_rank_bounds(self):
+        bv = BitVector([1, 0, 1])
+        with pytest.raises(IndexError):
+            bv.rank1(4)
+        with pytest.raises(IndexError):
+            bv.rank1(-1)
+
+    def test_rank1_many_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, 777).astype(np.uint8)
+        bv = BitVector(bits)
+        positions = np.arange(778)
+        expected = np.array([bv.rank1(int(p)) for p in positions])
+        assert np.array_equal(bv.rank1_many(positions), expected)
+
+    def test_rank1_many_bounds(self):
+        bv = BitVector([1, 0])
+        with pytest.raises(IndexError):
+            bv.rank1_many(np.array([3]))
+
+    def test_select1_inverts_rank(self):
+        rng = np.random.default_rng(4)
+        bits = rng.integers(0, 2, 300).astype(np.uint8)
+        bv = BitVector(bits)
+        ones = int(bits.sum())
+        for k in range(1, ones + 1):
+            pos = bv.select1(k)
+            assert bits[pos] == 1
+            assert bv.rank1(pos + 1) == k
+
+    def test_select0_inverts_rank0(self):
+        bits = np.array([1, 0, 0, 1, 0, 1, 0], dtype=np.uint8)
+        bv = BitVector(bits)
+        zero_positions = np.flatnonzero(bits == 0)
+        for k, pos in enumerate(zero_positions, start=1):
+            assert bv.select0(k) == pos
+
+    def test_select_out_of_range(self):
+        bv = BitVector([1, 0, 1])
+        with pytest.raises(IndexError):
+            bv.select1(3)
+        with pytest.raises(IndexError):
+            bv.select1(0)
+        with pytest.raises(IndexError):
+            bv.select0(2)
+
+    def test_empty_vector(self):
+        bv = BitVector(np.zeros(0, dtype=np.uint8))
+        assert len(bv) == 0
+        assert bv.rank1(0) == 0
+        assert bv.count() == 0
+
+    def test_all_ones_all_zeros(self):
+        ones = BitVector(np.ones(130, dtype=np.uint8))
+        zeros = BitVector(np.zeros(130, dtype=np.uint8))
+        assert ones.rank1(130) == 130
+        assert zeros.rank1(130) == 0
+        assert ones.select1(130) == 129
+        assert zeros.select0(1) == 0
+
+    def test_from_words_masks_tail(self):
+        # Tail bits beyond n must not pollute counts.
+        words = np.array([0xFFFFFFFFFFFFFFFF], dtype=np.uint64)
+        bv = BitVector.from_words(words, 10)
+        assert bv.count() == 10
+        assert bv.rank1(10) == 10
+
+    def test_from_words_too_short(self):
+        with pytest.raises(ValueError, match="cannot hold"):
+            BitVector.from_words(np.zeros(1, dtype=np.uint64), 100)
+
+    def test_from_iterable(self):
+        bv = BitVector.from_iterable(i % 2 for i in range(10))
+        assert bv.to_array().tolist() == [0, 1] * 5
+
+    def test_equality_and_hash(self):
+        a = BitVector([1, 0, 1])
+        b = BitVector([1, 0, 1])
+        c = BitVector([1, 0, 0])
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_size_in_bytes_positive(self):
+        bv = BitVector(np.ones(1000, dtype=np.uint8))
+        assert bv.size_in_bytes() >= 1000 // 8
+
+    def test_repr_truncates(self):
+        bv = BitVector(np.ones(100, dtype=np.uint8))
+        assert "..." in repr(bv)
+
+
+class TestBitsFromSequence:
+    def test_predicate_applied(self):
+        bv = bits_from_sequence(np.array([3, 1, 3, 0]), lambda a: a == 3)
+        assert bv.to_array().tolist() == [1, 0, 1, 0]

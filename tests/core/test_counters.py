@@ -1,0 +1,69 @@
+"""Unit tests for operation counters."""
+
+from repro.core.counters import CounterScope, OpCounters
+
+
+class TestOpCounters:
+    def test_starts_at_zero(self):
+        c = OpCounters()
+        assert all(v == 0 for v in c.snapshot().values())
+
+    def test_reset(self):
+        c = OpCounters(bs_steps=5, binary_ranks=2)
+        c.reset()
+        assert c.bs_steps == 0 and c.binary_ranks == 0
+
+    def test_merge_accumulates(self):
+        a = OpCounters(bs_steps=3)
+        b = OpCounters(bs_steps=4, wt_ranks=1)
+        a.merge(b)
+        assert a.bs_steps == 7 and a.wt_ranks == 1
+
+    def test_add_returns_new(self):
+        a = OpCounters(queries=1)
+        b = OpCounters(queries=2)
+        c = a + b
+        assert c.queries == 3
+        assert a.queries == 1 and b.queries == 2
+
+    def test_diff(self):
+        c = OpCounters(bs_steps=10)
+        before = c.snapshot()
+        c.bs_steps += 5
+        assert c.diff(before)["bs_steps"] == 5
+
+    def test_snapshot_is_plain_dict(self):
+        snap = OpCounters(table_lookups=2).snapshot()
+        assert isinstance(snap, dict)
+        assert snap["table_lookups"] == 2
+
+
+class TestCounterScope:
+    def test_captures_delta(self):
+        c = OpCounters(bs_steps=100)
+        with CounterScope(c) as scope:
+            c.bs_steps += 7
+            c.queries += 1
+        assert scope.delta["bs_steps"] == 7
+        assert scope.delta["queries"] == 1
+        assert scope.delta["wt_ranks"] == 0
+
+    def test_nested_scopes(self):
+        c = OpCounters()
+        with CounterScope(c) as outer:
+            c.bs_steps += 1
+            with CounterScope(c) as inner:
+                c.bs_steps += 2
+            c.bs_steps += 3
+        assert inner.delta["bs_steps"] == 2
+        assert outer.delta["bs_steps"] == 6
+
+    def test_scope_survives_exception(self):
+        c = OpCounters()
+        try:
+            with CounterScope(c) as scope:
+                c.bs_steps += 4
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert scope.delta["bs_steps"] == 4

@@ -1,0 +1,163 @@
+"""Unit tests for the Global Rank Table and combinadic coding."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.global_tables import (
+    GlobalRankTables,
+    binomial_table,
+    build_private_tables,
+    decode_offset,
+    encode_offset,
+    encode_offsets,
+    get_global_tables,
+    offset_width,
+    offset_widths,
+    popcount_block,
+)
+
+
+class TestBinomials:
+    def test_matches_math_comb(self):
+        C = binomial_table(15)
+        for n in range(16):
+            for k in range(16):
+                expected = math.comb(n, k) if k <= n else 0
+                assert C[n, k] == expected
+
+    def test_large_b_no_overflow(self):
+        C = binomial_table(24)
+        assert C[24, 12] == math.comb(24, 12)
+
+
+class TestOffsetWidths:
+    def test_degenerate_classes_zero_width(self):
+        for b in [1, 4, 15]:
+            assert offset_width(b, 0) == 0
+            assert offset_width(b, b) == 0
+
+    def test_known_widths(self):
+        # C(15, 1) = 15 -> 4 bits; C(15, 7) = 6435 -> 13 bits.
+        assert offset_width(15, 1) == 4
+        assert offset_width(15, 7) == 13
+
+    def test_widths_array_consistent(self):
+        widths = offset_widths(15)
+        assert widths.size == 16
+        for c in range(16):
+            assert widths[c] == offset_width(15, c)
+
+
+class TestCombinadics:
+    @pytest.mark.parametrize("b", [1, 2, 3, 5, 8])
+    def test_encode_is_rank_within_class(self, b):
+        # Brute force: enumerate all b-bit values, group by class, check
+        # that encode_offset gives the ascending-order rank.
+        by_class: dict[int, list[int]] = {}
+        for v in range(1 << b):
+            by_class.setdefault(bin(v).count("1"), []).append(v)
+        for c, values in by_class.items():
+            for rank, v in enumerate(sorted(values)):
+                assert encode_offset(v, b) == rank, (b, c, v)
+
+    @pytest.mark.parametrize("b", [1, 3, 6, 10])
+    def test_decode_inverts_encode(self, b):
+        for v in range(1 << b):
+            c = bin(v).count("1")
+            assert decode_offset(c, encode_offset(v, b), b) == v
+
+    def test_encode_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="fit"):
+            encode_offset(8, 3)
+
+    def test_decode_rejects_bad_class(self):
+        with pytest.raises(ValueError, match="class"):
+            decode_offset(5, 0, 3)
+
+    def test_decode_rejects_bad_offset(self):
+        with pytest.raises(ValueError, match="offset"):
+            decode_offset(1, 3, 3)  # C(3,1)=3, offsets 0..2
+
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        for b in [4, 15, 20]:
+            values = rng.integers(0, 1 << b, size=500)
+            expected = np.array([encode_offset(int(v), b) for v in values])
+            assert np.array_equal(encode_offsets(values, b), expected)
+
+    def test_vectorized_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_offsets(np.array([16]), 4)
+
+
+class TestPopcountBlock:
+    def test_small_and_large_b(self):
+        vals = np.array([0, 1, 0b111, (1 << 15) - 1, (1 << 20) - 1])
+        assert popcount_block(vals, 24).tolist() == [0, 1, 3, 15, 20]
+
+
+class TestGlobalRankTables:
+    def test_permutation_table_sorted_by_class(self):
+        t = get_global_tables(6)
+        classes = popcount_block(t.permutations.astype(np.int64), 6)
+        assert np.all(np.diff(classes) >= 0)
+        # Within a class, values ascend.
+        for c in range(7):
+            lo, hi = int(t.class_offsets[c]), int(t.class_offsets[c + 1])
+            vals = t.permutations[lo:hi].astype(np.int64)
+            assert np.all(np.diff(vals) > 0)
+
+    def test_class_offsets_partition(self):
+        t = get_global_tables(8)
+        assert t.class_offsets[0] == 0
+        assert t.class_offsets[-1] == 1 << 8
+
+    def test_decode_block_via_table(self):
+        t = get_global_tables(5)
+        for v in range(1 << 5):
+            c = bin(v).count("1")
+            off = encode_offset(v, 5)
+            assert t.decode_block(c, off) == v
+
+    def test_decode_block_without_table(self):
+        t = get_global_tables(20)  # beyond MAX_TABLE_B: combinadic path
+        assert t.permutations is None
+        for v in [0, 1, 12345, (1 << 20) - 1]:
+            c = bin(v).count("1")
+            assert t.decode_block(c, encode_offset(v, 20)) == v
+
+    def test_rank_in_block_matches_popcount(self):
+        t = get_global_tables(7)
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            v = int(rng.integers(0, 1 << 7))
+            p = int(rng.integers(0, 8))
+            assert t.rank_in_block(v, p) == bin(v & ((1 << p) - 1)).count("1")
+
+    def test_shared_instance_cached(self):
+        assert get_global_tables(15) is get_global_tables(15)
+
+    def test_private_tables_not_shared(self):
+        a = build_private_tables(10)
+        assert a is not get_global_tables(10)
+        assert np.array_equal(a.class_offsets, get_global_tables(10).class_offsets)
+
+    def test_rejects_bad_b(self):
+        with pytest.raises(ValueError):
+            get_global_tables(0)
+        with pytest.raises(ValueError):
+            get_global_tables(25)
+
+    def test_size_in_bytes_tracks_table(self):
+        small = get_global_tables(4)
+        big = get_global_tables(15)
+        assert big.size_in_bytes() > small.size_in_bytes()
+        # b=15 permutations: 2^15 uint16 = 64 KiB dominates.
+        assert big.size_in_bytes() >= (1 << 15) * 2
+
+    def test_frozen(self):
+        t = get_global_tables(4)
+        with pytest.raises(AttributeError):
+            t.b = 5  # type: ignore[misc]

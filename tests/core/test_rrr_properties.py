@@ -1,0 +1,83 @@
+"""Property-based tests: RRR and friends against simple oracles."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitio import pack_fields, read_field
+from repro.core.bitvector import BitVector
+from repro.core.global_tables import decode_offset, encode_offset
+from repro.core.rrr import RRRVector
+
+bit_lists = st.lists(st.integers(0, 1), min_size=0, max_size=300)
+params = st.tuples(st.integers(1, 16), st.integers(1, 8))
+
+
+@given(bits=bit_lists, bp=params)
+@settings(max_examples=60, deadline=None)
+def test_rrr_rank_equals_bitvector_rank(bits, bp):
+    b, sf = bp
+    arr = np.array(bits, dtype=np.uint8)
+    r = RRRVector(arr, b=b, sf=sf)
+    cum = np.concatenate(([0], np.cumsum(arr)))
+    positions = list(range(0, len(bits) + 1, max(1, len(bits) // 17 or 1)))
+    for p in positions:
+        assert r.rank1(p) == cum[p]
+
+
+@given(bits=bit_lists, bp=params)
+@settings(max_examples=40, deadline=None)
+def test_rrr_roundtrip_lossless(bits, bp):
+    b, sf = bp
+    arr = np.array(bits, dtype=np.uint8)
+    r = RRRVector(arr, b=b, sf=sf)
+    assert np.array_equal(r.to_bitvector().to_array(), arr)
+
+
+@given(bits=bit_lists, bp=params)
+@settings(max_examples=40, deadline=None)
+def test_rrr_batch_equals_scalar(bits, bp):
+    b, sf = bp
+    arr = np.array(bits, dtype=np.uint8)
+    r = RRRVector(arr, b=b, sf=sf)
+    positions = np.arange(len(bits) + 1)
+    expected = np.array([r.rank1(int(p)) for p in positions])
+    assert np.array_equal(r.rank1_many(positions), expected)
+
+
+@given(value=st.integers(0, (1 << 15) - 1))
+@settings(max_examples=200, deadline=None)
+def test_combinadic_roundtrip_b15(value):
+    c = bin(value).count("1")
+    assert decode_offset(c, encode_offset(value, 15), 15) == value
+
+
+@given(bits=bit_lists)
+@settings(max_examples=60, deadline=None)
+def test_bitvector_select_rank_inverse(bits):
+    arr = np.array(bits, dtype=np.uint8)
+    bv = BitVector(arr)
+    for k in range(1, bv.count() + 1):
+        pos = bv.select1(k)
+        assert bv.rank1(pos) == k - 1
+        assert bv.rank1(pos + 1) == k
+
+
+@given(
+    fields=st.lists(
+        st.tuples(st.integers(0, 30)).map(lambda t: t[0]).flatmap(
+            lambda w: st.tuples(st.just(w), st.integers(0, (1 << w) - 1 if w else 0))
+        ),
+        max_size=60,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_bitio_pack_read_roundtrip(fields):
+    widths = np.array([w for w, _ in fields], dtype=np.int64)
+    values = np.array([v for _, v in fields], dtype=np.uint64)
+    words, total = pack_fields(values, widths)
+    assert total == int(widths.sum())
+    pos = 0
+    for w, v in fields:
+        assert read_field(words, pos, w) == v
+        pos += w

@@ -1,0 +1,97 @@
+"""Unit tests for RRR select and the wavelet tree's structural select."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rrr import RRRVector
+from repro.core.wavelet_tree import WaveletTree
+
+
+class TestRRRSelect:
+    @pytest.mark.parametrize("b,sf", [(3, 2), (8, 4), (15, 5), (15, 1)])
+    def test_select1_inverts_rank(self, b, sf):
+        rng = np.random.default_rng(b * 10 + sf)
+        bits = rng.integers(0, 2, 400).astype(np.uint8)
+        r = RRRVector(bits, b=b, sf=sf)
+        ones = int(bits.sum())
+        for k in range(1, ones + 1):
+            pos = r.select1(k)
+            assert bits[pos] == 1
+            assert r.rank1(pos + 1) == k
+            assert r.rank1(pos) == k - 1
+
+    def test_select0_inverts_rank0(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 200).astype(np.uint8)
+        r = RRRVector(bits, b=7, sf=3)
+        zeros = int((bits == 0).sum())
+        for k in [1, zeros // 2, zeros]:
+            pos = r.select0(k)
+            assert bits[pos] == 0
+            assert r.rank0(pos + 1) == k
+
+    def test_select_bounds(self):
+        r = RRRVector([1, 0, 1], b=3, sf=2)
+        with pytest.raises(IndexError):
+            r.select1(0)
+        with pytest.raises(IndexError):
+            r.select1(3)
+        with pytest.raises(IndexError):
+            r.select0(2)
+
+    def test_select_sparse(self):
+        bits = np.zeros(500, dtype=np.uint8)
+        bits[[3, 250, 499]] = 1
+        r = RRRVector(bits, b=15, sf=4)
+        assert [r.select1(k) for k in (1, 2, 3)] == [3, 250, 499]
+
+    def test_select_dense(self):
+        bits = np.ones(300, dtype=np.uint8)
+        r = RRRVector(bits, b=15, sf=4)
+        for k in (1, 150, 300):
+            assert r.select1(k) == k - 1
+
+    def test_select_across_empty_superblocks(self):
+        # Long zero stretch spanning several superblocks, then ones.
+        bits = np.concatenate(
+            [np.zeros(15 * 4 * 3, dtype=np.uint8), np.ones(10, dtype=np.uint8)]
+        )
+        r = RRRVector(bits, b=15, sf=4)
+        assert r.select1(1) == 15 * 4 * 3
+
+    @given(bits=st.lists(st.integers(0, 1), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_property_select_matches_flatnonzero(self, bits):
+        arr = np.array(bits, dtype=np.uint8)
+        r = RRRVector(arr, b=6, sf=3)
+        positions = np.flatnonzero(arr)
+        for k, pos in enumerate(positions.tolist(), start=1):
+            assert r.select1(k) == pos
+
+
+class TestWaveletSelectStructural:
+    def test_matches_occurrence_positions(self):
+        rng = np.random.default_rng(7)
+        codes = rng.integers(0, 4, 300)
+        wt = WaveletTree(codes, sigma=4, b=8, sf=3)
+        for s in range(4):
+            positions = np.flatnonzero(codes == s)
+            for k, pos in enumerate(positions.tolist(), start=1):
+                assert wt.select(s, k) == pos
+
+    def test_structural_path_used_for_rrr_nodes(self):
+        # RRRVector now has select1/select0, so the fast path applies;
+        # verify equality against the rank binary search explicitly.
+        rng = np.random.default_rng(8)
+        codes = rng.integers(0, 4, 150)
+        wt = WaveletTree(codes, sigma=4, b=6, sf=2)
+        for s in range(4):
+            total = int((codes == s).sum())
+            for k in [1, total]:
+                if total == 0:
+                    continue
+                pos = wt.select(s, k)
+                assert codes[pos] == s
+                assert wt.rank(s, pos + 1) == k

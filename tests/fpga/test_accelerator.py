@@ -1,0 +1,101 @@
+"""Unit tests for the high-level accelerator facade."""
+
+import numpy as np
+import pytest
+
+from repro import build_index
+from repro.fpga.accelerator import FPGAAccelerator
+from repro.fpga.cost_model import FPGACostModel
+from repro.mapper.mapper import Mapper
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(41)
+    text = "".join("ACGT"[c] for c in rng.integers(0, 4, 1200))
+    index, _ = build_index(text, b=15, sf=8)
+    return index, text
+
+
+class TestConstruction:
+    def test_for_index(self, setup):
+        index, _ = setup
+        acc = FPGAAccelerator.for_index(index)
+        assert acc.structure_bytes > 0
+
+    def test_rejects_occ_backend(self, setup):
+        _, text = setup
+        occ_index, _ = build_index(text, backend="occ")
+        with pytest.raises(TypeError, match="succinct"):
+            FPGAAccelerator.for_index(occ_index)
+
+
+class TestMapBatch:
+    def test_results_match_software(self, setup):
+        index, text = setup
+        acc = FPGAAccelerator.for_index(index)
+        mapper = Mapper(index, locate=False)
+        reads = [text[i : i + 35] for i in range(0, 900, 71)] + ["ACGT" * 9]
+        run = acc.map_batch(reads, batch_size=5)
+        sw = mapper.map_reads(reads)
+        assert run.n_reads == len(reads)
+        for o, m in zip(run.kernel_run.outcomes, sw):
+            assert (o.fwd_start, o.fwd_end, o.rc_start, o.rc_end) == (
+                m.forward.interval.start,
+                m.forward.interval.end,
+                m.reverse.interval.start,
+                m.reverse.interval.end,
+            )
+
+    def test_batching_invariant(self, setup):
+        index, text = setup
+        acc = FPGAAccelerator.for_index(index)
+        reads = [text[i : i + 30] for i in range(0, 600, 43)]
+        small = acc.map_batch(reads, batch_size=3)
+        big = acc.map_batch(reads, batch_size=1000)
+        assert small.kernel_run.hw_steps_total == big.kernel_run.hw_steps_total
+        assert small.modeled_kernel_seconds == pytest.approx(big.modeled_kernel_seconds)
+
+    def test_load_overhead_included_once(self, setup):
+        index, text = setup
+        acc = FPGAAccelerator.for_index(index)
+        reads = [text[:30]]
+        with_load = acc.map_batch(reads, include_load=True)
+        without = acc.map_batch(reads, include_load=False)
+        assert with_load.modeled_load_seconds > 0
+        assert without.modeled_load_seconds == 0.0
+        assert with_load.modeled_seconds > without.modeled_seconds
+
+    def test_energy_consistent(self, setup):
+        index, text = setup
+        acc = FPGAAccelerator.for_index(index)
+        run = acc.map_batch([text[:40]])
+        assert run.energy_joules == pytest.approx(run.modeled_seconds * 25.0)
+
+    def test_mapping_ratio(self, setup):
+        index, text = setup
+        acc = FPGAAccelerator.for_index(index)
+        run = acc.map_batch([text[:30], "ACGT" * 10])
+        assert run.mapping_ratio == pytest.approx(0.5)
+
+    def test_custom_cost_model(self, setup):
+        index, text = setup
+        fast = FPGAAccelerator.for_index(index, cost_model=FPGACostModel(lanes=16))
+        slow = FPGAAccelerator.for_index(index, cost_model=FPGACostModel(lanes=1))
+        reads = [text[i : i + 40] for i in range(0, 400, 31)]
+        t_fast = fast.map_batch(reads).modeled_kernel_seconds
+        t_slow = slow.map_batch(reads).modeled_kernel_seconds
+        assert t_fast < t_slow
+
+    def test_requires_programming_before_noload_run(self, setup):
+        index, _ = setup
+        acc = FPGAAccelerator.for_index(index)
+        with pytest.raises(RuntimeError, match="not programmed"):
+            acc.map_batch(["ACGT"], include_load=False)
+
+    def test_reads_per_second_positive(self, setup):
+        index, text = setup
+        acc = FPGAAccelerator.for_index(index)
+        run = acc.map_batch([text[:50]])
+        assert run.reads_per_second > 0
+        assert run.host_wall_seconds > 0

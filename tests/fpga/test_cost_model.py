@@ -1,0 +1,99 @@
+"""Unit tests for the FPGA cycle/transfer cost model."""
+
+import pytest
+
+from repro.fpga.cost_model import DEFAULT_COST_MODEL, FPGACostModel
+
+
+class TestComponents:
+    def test_load_proportional_to_size(self):
+        m = DEFAULT_COST_MODEL
+        assert m.load_seconds(2_000_000) == pytest.approx(2 * m.load_seconds(1_000_000))
+
+    def test_transfer_proportional_to_reads(self):
+        m = DEFAULT_COST_MODEL
+        assert m.transfer_seconds(2000) == pytest.approx(2 * m.transfer_seconds(1000))
+
+    def test_kernel_cycles_divide_by_lanes(self):
+        one = FPGACostModel(lanes=1)
+        four = FPGACostModel(lanes=4)
+        steps, reads = 1_000_000, 10_000
+        assert one.kernel_cycles(steps, reads) == pytest.approx(
+            4 * four.kernel_cycles(steps, reads), rel=0.01
+        )
+
+    def test_initiation_interval_scales_cycles(self):
+        ii1 = FPGACostModel(initiation_interval=1)
+        ii2 = FPGACostModel(initiation_interval=2)
+        assert ii2.kernel_cycles(10_000, 10) > ii1.kernel_cycles(10_000, 10)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            FPGACostModel(lanes=0)
+        with pytest.raises(ValueError):
+            FPGACostModel(initiation_interval=0)
+
+    def test_with_lanes(self):
+        m = DEFAULT_COST_MODEL.with_lanes(8)
+        assert m.lanes == 8
+        assert m.spec == DEFAULT_COST_MODEL.spec
+
+
+class TestRunSeconds:
+    def test_fixed_overhead_amortizes(self):
+        """Table II's key trend: throughput grows with read count."""
+        m = DEFAULT_COST_MODEL
+        struct = 12_000_000  # ~Chr21-size structure
+        steps_per_read = 40
+        small = m.run_seconds(struct, 1_000 * steps_per_read, 1_000)
+        large = m.run_seconds(struct, 1_000_000 * steps_per_read, 1_000_000)
+        # Reads/s must improve at the larger batch.
+        assert 1_000_000 / large > 1_000 / small
+
+    def test_include_load_flag(self):
+        m = DEFAULT_COST_MODEL
+        with_load = m.run_seconds(1_000_000, 1000, 10, include_load=True)
+        without = m.run_seconds(1_000_000, 1000, 10, include_load=False)
+        assert with_load - without == pytest.approx(m.load_seconds(1_000_000))
+
+    def test_transfer_hidden_when_compute_dominates(self):
+        m = DEFAULT_COST_MODEL
+        report = m.run_report(1_000_000, 100_000_000 * 40, 100_000_000)
+        assert report["transfer_hidden"] == 1.0
+        assert report["total_seconds"] == pytest.approx(
+            report["load_seconds"] + report["kernel_seconds"]
+        )
+
+    def test_transfer_bound_when_kernel_trivial(self):
+        m = FPGACostModel(lanes=16, pcie_bytes_per_sec=1e6)  # pathological PCIe
+        report = m.run_report(1000, 100, 100_000)
+        assert report["transfer_hidden"] == 0.0
+
+    def test_energy(self):
+        m = DEFAULT_COST_MODEL
+        assert m.energy_joules(2.0) == pytest.approx(2.0 * 25.0)
+
+
+class TestPaperShape:
+    """The calibrated model must land near the paper's FPGA columns."""
+
+    def test_table1_fpga_time_order(self):
+        # 100 M x 35 bp on E.coli: paper reports 3 623 ms.  With ~75-100%
+        # mapping ratio the hw steps/read sit near 30-35.
+        m = DEFAULT_COST_MODEL
+        struct = 1_720_000  # paper's E.coli structure size (b=15)
+        modeled = m.run_seconds(struct, int(100e6 * 33), int(100e6))
+        assert 1.0 < modeled < 10.0  # same order as 3.6 s
+        assert modeled == pytest.approx(3.623, rel=0.5)
+
+    def test_table2_fpga_times_grow_sublinearly(self):
+        m = DEFAULT_COST_MODEL
+        struct = 12_730_000  # paper's Chr21 structure size
+        t1 = m.run_seconds(struct, int(1e6 * 38), int(1e6))
+        t10 = m.run_seconds(struct, int(10e6 * 38), int(10e6))
+        t100 = m.run_seconds(struct, int(100e6 * 38), int(100e6))
+        # Paper: 242 / 460 / 3783 ms — strongly sublinear 1M -> 10M.
+        assert t10 < 5 * t1
+        assert t100 < 12 * t10
+        assert t1 == pytest.approx(0.242, rel=0.6)
+        assert t100 == pytest.approx(3.783, rel=0.6)

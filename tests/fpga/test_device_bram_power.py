@@ -1,0 +1,115 @@
+"""Unit tests for device specs, BRAM banking and the power model."""
+
+import pytest
+
+from repro.fpga.bram import BramModel
+from repro.fpga.device import (
+    ALVEO_U200,
+    XEON_E5_2698V3_WATTS,
+    CapacityError,
+    DeviceSpec,
+    check_fits,
+    max_reference_bases,
+)
+from repro.fpga.power import PowerModel
+
+
+class TestDeviceSpec:
+    def test_u200_constants(self):
+        assert ALVEO_U200.port_bits == 512
+        assert ALVEO_U200.port_bytes == 64
+        assert ALVEO_U200.board_power_watts == 25.0
+        # ~19.4 MB BRAM + ~33.8 MB URAM.
+        assert 18e6 < ALVEO_U200.bram_bytes < 21e6
+        assert 32e6 < ALVEO_U200.uram_bytes < 36e6
+
+    def test_check_fits(self):
+        check_fits(ALVEO_U200, 10_000_000)
+        with pytest.raises(CapacityError, match="exceeds"):
+            check_fits(ALVEO_U200, 100_000_000)
+
+    def test_max_reference_near_paper_claim(self):
+        # Paper: ~100 M bases fit; b=15 density ~0.317 B/base (Chr21 run).
+        bases = max_reference_bases(ALVEO_U200, bytes_per_base=12.73e6 / 40.1e6)
+        assert 1e8 < bases < 1.8e8
+
+    def test_max_reference_rejects_bad_density(self):
+        with pytest.raises(ValueError):
+            max_reference_bases(ALVEO_U200, 0)
+
+
+class TestBramModel:
+    def test_allocate_and_utilization(self):
+        bram = BramModel()
+        bram.allocate("a", 1_000_000)
+        bram.allocate("b", 2_000_000)
+        assert bram.allocated_bytes == 3_000_000
+        assert 0 < bram.utilization < 1
+
+    def test_duplicate_name_rejected(self):
+        bram = BramModel()
+        bram.allocate("x", 10)
+        with pytest.raises(ValueError, match="already"):
+            bram.allocate("x", 10)
+
+    def test_overflow_rejected(self):
+        bram = BramModel()
+        with pytest.raises(CapacityError):
+            bram.allocate("huge", ALVEO_U200.on_chip_bytes)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            BramModel().allocate("neg", -1)
+
+    def test_traffic_tracking(self):
+        bram = BramModel()
+        bank = bram.allocate("t", 100)
+        bank.read(5)
+        bank.write(2)
+        assert bram.traffic()["t"] == (5, 2)
+        assert bram.total_reads() == 5
+        bram.reset_traffic()
+        assert bram.traffic()["t"] == (0, 0)
+
+    def test_load_bursts(self):
+        bram = BramModel()
+        bram.allocate("a", 65)  # needs 2 bursts of 64 B
+        bram.allocate("b", 64)  # 1 burst
+        assert bram.load_bursts() == 3
+
+
+class TestPowerModel:
+    def test_defaults_match_paper(self):
+        pm = PowerModel()
+        assert pm.fpga_watts == 25.0
+        assert pm.cpu_watts == XEON_E5_2698V3_WATTS == 135.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            PowerModel(fpga_watts=0)
+
+    def test_energy(self):
+        pm = PowerModel()
+        assert pm.fpga_energy(2.0) == 50.0
+        assert pm.cpu_energy(2.0) == 270.0
+
+    def test_speedup(self):
+        pm = PowerModel()
+        assert pm.speedup_vs_fpga(10.0, 2.0) == 5.0
+
+    def test_efficiency_formula_matches_paper_table1(self):
+        """Check the energy-ratio definition against the paper's own rows:
+        CPU 247 214 ms vs FPGA 3 623 ms -> 368.43x power efficiency."""
+        pm = PowerModel()
+        eff = pm.efficiency_vs_fpga(247.214, 3.623)
+        assert eff == pytest.approx(368.43, rel=0.01)
+
+    def test_efficiency_table1_bowtie16(self):
+        pm = PowerModel()
+        eff = pm.efficiency_vs_fpga(11.542, 3.623)
+        assert eff == pytest.approx(17.2, rel=0.01)
+
+    def test_custom_watts(self):
+        pm = PowerModel()
+        # A 25 W competitor with equal time is exactly 1x.
+        assert pm.efficiency_vs_fpga(1.0, 1.0, other_watts=25.0) == pytest.approx(1.0)

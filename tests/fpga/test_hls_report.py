@@ -1,0 +1,71 @@
+"""Unit tests for the HLS-style resource report."""
+
+import numpy as np
+import pytest
+
+from repro import build_index
+from repro.fpga.cost_model import DEFAULT_COST_MODEL, FPGACostModel
+from repro.fpga.hls_report import generate_report, latency_estimate
+from repro.fpga.kernel import BackwardSearchKernel
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    rng = np.random.default_rng(131)
+    text = "".join("ACGT"[c] for c in rng.integers(0, 4, 2000))
+    index, _ = build_index(text, b=15, sf=50)
+    return BackwardSearchKernel(index.backend)
+
+
+class TestGenerateReport:
+    def test_fields_populated(self, kernel):
+        rep = generate_report(kernel, DEFAULT_COST_MODEL)
+        assert rep.device == "xilinx_u200"
+        assert rep.clock_mhz == pytest.approx(300.0)
+        assert rep.lanes == 4
+        assert rep.bram_blocks >= 1
+        assert rep.lut_estimate > 0 and rep.ff_estimate > 0
+        assert 0 <= rep.bram_utilization <= 1
+
+    def test_blocks_cover_placed_bytes(self, kernel):
+        from repro.fpga.hls_report import BRAM_BLOCK_BYTES, URAM_BLOCK_BYTES
+
+        rep = generate_report(kernel, DEFAULT_COST_MODEL)
+        capacity = rep.bram_blocks * BRAM_BLOCK_BYTES + rep.uram_blocks * URAM_BLOCK_BYTES
+        assert capacity >= kernel.structure_bytes()
+
+    def test_resources_scale_with_lanes(self, kernel):
+        small = generate_report(kernel, FPGACostModel(lanes=1))
+        big = generate_report(kernel, FPGACostModel(lanes=8))
+        assert big.lut_estimate > small.lut_estimate
+        assert big.ff_estimate > small.ff_estimate
+        # Memory placement is lane-independent (one shared structure).
+        assert big.bram_blocks == small.bram_blocks
+
+    def test_pipeline_depth_tracks_sf(self):
+        rng = np.random.default_rng(132)
+        text = "".join("ACGT"[c] for c in rng.integers(0, 4, 1000))
+        shallow, _ = build_index(text, b=15, sf=4)
+        deep, _ = build_index(text, b=15, sf=200)
+        r_shallow = generate_report(BackwardSearchKernel(shallow.backend), DEFAULT_COST_MODEL)
+        r_deep = generate_report(BackwardSearchKernel(deep.backend), DEFAULT_COST_MODEL)
+        assert r_deep.rank_pipeline_depth > r_shallow.rank_pipeline_depth
+
+    def test_render_is_readable(self, kernel):
+        text = generate_report(kernel, DEFAULT_COST_MODEL).render()
+        assert "HLS report" in text
+        assert "BRAM" in text and "LUT" in text
+        assert "xilinx_u200" in text
+
+
+class TestLatencyEstimate:
+    def test_consistent_with_cost_model(self):
+        est = latency_estimate(
+            DEFAULT_COST_MODEL, n_reads=1_000_000, mean_hw_steps_per_read=35.0,
+            structure_bytes=1_700_000,
+        )
+        assert est["total_ms"] == pytest.approx(
+            DEFAULT_COST_MODEL.run_seconds(1_700_000, 35_000_000, 1_000_000) * 1e3
+        )
+        assert est["kernel_cycles"] > 0
+        assert est["load_ms"] > 0

@@ -1,0 +1,70 @@
+"""Unit tests for the multi-core (lane replication) scaling model."""
+
+import pytest
+
+from repro.fpga.cost_model import FPGACostModel
+from repro.fpga.multicore import MulticoreModel, scaling_curve
+
+
+class TestEffectiveLanes:
+    def test_linear_within_port_budget(self):
+        mc = MulticoreModel(port_budget=8)
+        for lanes in [1, 2, 4, 8]:
+            assert mc.effective_lanes(lanes) == lanes
+
+    def test_sublinear_beyond_budget(self):
+        mc = MulticoreModel(port_budget=8, contention_factor=0.65)
+        assert mc.effective_lanes(16) == pytest.approx(8 + 8 * 0.65)
+        assert mc.effective_lanes(16) < 16
+
+    def test_area_cap(self):
+        mc = MulticoreModel(max_lanes=32)
+        with pytest.raises(ValueError, match="area cap"):
+            mc.effective_lanes(33)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            MulticoreModel().effective_lanes(0)
+
+
+class TestModeledSeconds:
+    def test_more_lanes_faster_until_transfer_bound(self):
+        mc = MulticoreModel()
+        base = FPGACostModel()
+        args = (10_000_000, 400_000_000, 10_000_000)  # struct, steps, reads
+        t1 = mc.modeled_seconds(base, 1, *args)
+        t4 = mc.modeled_seconds(base, 4, *args)
+        t8 = mc.modeled_seconds(base, 8, *args)
+        assert t1 > t4 > t8
+
+    def test_load_does_not_parallelize(self):
+        mc = MulticoreModel()
+        base = FPGACostModel()
+        struct = 50_000_000
+        t1 = mc.modeled_seconds(base, 1, struct, 1000, 10)
+        t8 = mc.modeled_seconds(base, 8, struct, 1000, 10)
+        # Dominated by load: nearly identical.
+        assert t8 > 0.9 * t1
+
+
+class TestScalingCurve:
+    def test_speedup_monotone(self):
+        rows = scaling_curve(
+            FPGACostModel(), 1_000_000, 4_000_000_000, 100_000_000
+        )
+        speedups = [r["speedup_vs_1"] for r in rows]
+        assert speedups == sorted(speedups)
+        assert speedups[0] == pytest.approx(1.0)
+
+    def test_diminishing_returns_past_budget(self):
+        rows = scaling_curve(
+            FPGACostModel(),
+            1_000_000,
+            4_000_000_000,
+            100_000_000,
+            lane_counts=(4, 8, 16),
+            multicore=MulticoreModel(port_budget=8),
+        )
+        eff_4_to_8 = rows[1]["speedup_vs_1"] / rows[0]["speedup_vs_1"]
+        eff_8_to_16 = rows[2]["speedup_vs_1"] / rows[1]["speedup_vs_1"]
+        assert eff_8_to_16 < eff_4_to_8

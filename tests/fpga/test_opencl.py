@@ -1,0 +1,106 @@
+"""Unit tests for the OpenCL-like runtime and profiling events."""
+
+import numpy as np
+import pytest
+
+from repro.fpga.cost_model import FPGACostModel
+from repro.fpga.opencl import (
+    Buffer,
+    CLError,
+    CommandQueue,
+    CommandType,
+    Context,
+    Event,
+)
+
+
+@pytest.fixture()
+def queue():
+    return CommandQueue(Context())
+
+
+class TestBuffers:
+    def test_create_and_write(self, queue):
+        buf = queue.context.create_buffer(1024)
+        ev = queue.enqueue_write_buffer(buf, np.zeros(128, dtype=np.uint64))
+        assert ev.command == CommandType.WRITE_BUFFER
+        assert ev.duration_seconds > 0
+
+    def test_write_overflow_rejected(self, queue):
+        buf = queue.context.create_buffer(8)
+        with pytest.raises(CLError, match="exceeds"):
+            queue.enqueue_write_buffer(buf, np.zeros(100, dtype=np.uint64))
+
+    def test_read_returns_payload(self, queue):
+        buf = queue.context.create_buffer(64)
+        data = np.arange(8, dtype=np.uint64)
+        queue.enqueue_write_buffer(buf, data)
+        ev = queue.enqueue_read_buffer(buf)
+        assert np.array_equal(ev.wait(), data)
+
+    def test_read_before_write_rejected(self, queue):
+        buf = queue.context.create_buffer(8)
+        with pytest.raises(CLError, match="before any write"):
+            queue.enqueue_read_buffer(buf)
+
+    def test_use_after_release(self, queue):
+        buf = queue.context.create_buffer(8)
+        buf.release()
+        with pytest.raises(CLError, match="after release"):
+            queue.enqueue_write_buffer(buf, np.zeros(1, dtype=np.uint8))
+
+    def test_fill_from_device_no_timeline_cost(self, queue):
+        buf = queue.context.create_buffer(64)
+        before = queue.device_time_ns
+        buf.fill_from_device(np.arange(8, dtype=np.uint64))
+        assert queue.device_time_ns == before
+
+    def test_negative_size_rejected(self, queue):
+        with pytest.raises(CLError):
+            Buffer(queue.context, -1)
+
+
+class TestTimeline:
+    def test_in_order_timestamps(self, queue):
+        buf = queue.context.create_buffer(1 << 20)
+        e1 = queue.enqueue_write_buffer(buf, np.zeros(1 << 17, dtype=np.uint64))
+        e2 = queue.enqueue_read_buffer(buf)
+        assert e1.profile_start <= e1.profile_end == e2.profile_start <= e2.profile_end
+        assert queue.finish() == e2.profile_end
+
+    def test_kernel_duration_from_model(self, queue):
+        ev = queue.enqueue_kernel(lambda: 42, modeled_seconds_of=lambda r: 0.5)
+        assert ev.wait() == 42
+        assert ev.duration_seconds == pytest.approx(0.5)
+
+    def test_kernel_duration_depends_on_result(self, queue):
+        # Duration computed from the functional result (early termination).
+        ev = queue.enqueue_kernel(
+            lambda: {"steps": 1000},
+            modeled_seconds_of=lambda r: r["steps"] * 1e-6,
+        )
+        assert ev.duration_seconds == pytest.approx(1e-3)
+
+    def test_explicit_bandwidth(self):
+        q = CommandQueue(Context(), cost_model=FPGACostModel(pcie_bytes_per_sec=1e9))
+        buf = q.context.create_buffer(1 << 20)
+        ev = q.enqueue_write_buffer(
+            buf, np.zeros(1 << 17, dtype=np.uint64), bytes_per_sec=1e6
+        )
+        # 1 MiB at 1 MB/s ~ 1.05 s.
+        assert ev.duration_seconds == pytest.approx((1 << 20) / 1e6, rel=0.01)
+
+    def test_total_profiled_seconds_filter(self, queue):
+        buf = queue.context.create_buffer(4096)
+        queue.enqueue_write_buffer(buf, np.zeros(512, dtype=np.uint64))
+        queue.enqueue_kernel(lambda: None, modeled_seconds_of=lambda r: 0.25)
+        kernels = queue.total_profiled_seconds(CommandType.KERNEL)
+        assert kernels == pytest.approx(0.25)
+        assert queue.total_profiled_seconds() > kernels
+
+    def test_profiling_disabled(self):
+        q = CommandQueue(Context(), profiling=False)
+        buf = q.context.create_buffer(64)
+        ev = q.enqueue_write_buffer(buf, np.zeros(8, dtype=np.uint64))
+        assert ev.profile_end == 0
+        assert q.device_time_ns == 0

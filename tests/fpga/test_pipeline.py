@@ -1,0 +1,67 @@
+"""Unit tests for the lockstep dual pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import build_index
+from repro.fpga.pipeline import DualPipeline
+from repro.mapper.mapper import Mapper
+from repro.sequence.alphabet import reverse_complement
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(21)
+    text = "".join("ACGT"[c] for c in rng.integers(0, 4, 900))
+    index, _ = build_index(text, b=15, sf=4)
+    return index, text
+
+
+class TestDualPipeline:
+    def test_intervals_match_mapper(self, setup):
+        index, text = setup
+        dp = DualPipeline(index.backend)
+        mapper = Mapper(index, locate=False)
+        for read in [text[100:140], reverse_complement(text[200:240]), "ACGT" * 9]:
+            fwd, rc, ticks = dp.run(read)
+            m = mapper.map_read(read)
+            assert (fwd.lo, fwd.hi) == (m.forward.interval.start, m.forward.interval.end)
+            assert (rc.lo, rc.hi) == (m.reverse.interval.start, m.reverse.interval.end)
+
+    def test_ticks_equal_max_steps(self, setup):
+        index, text = setup
+        dp = DualPipeline(index.backend)
+        for read in [text[0:40], "ACGT" * 8, text[300:320]]:
+            fwd, rc, ticks = dp.run(read)
+            assert ticks == max(fwd.steps, rc.steps)
+
+    def test_mapped_read_runs_full_length(self, setup):
+        index, text = setup
+        dp = DualPipeline(index.backend)
+        fwd, rc, ticks = dp.run(text[400:440])
+        assert fwd.found
+        assert fwd.steps == 40
+
+    def test_unmapped_strand_early_terminates(self, setup):
+        index, text = setup
+        dp = DualPipeline(index.backend)
+        read = "A" * 50  # long homopolymer: absent from random text
+        assert read not in text
+        fwd, rc, ticks = dp.run(read)
+        assert not fwd.found and not rc.found
+        assert fwd.steps < 50 and rc.steps < 50
+
+    def test_idle_strand_waits(self, setup):
+        index, text = setup
+        dp = DualPipeline(index.backend)
+        # Forward maps (40 steps); RC almost surely dies early.
+        read = text[500:540]
+        fwd, rc, ticks = dp.run(read)
+        if rc.steps < fwd.steps:
+            assert ticks == fwd.steps  # the faster strand idled
+
+    def test_strand_states_done_flags(self, setup):
+        index, text = setup
+        dp = DualPipeline(index.backend)
+        fwd, rc, _ = dp.run(text[10:30])
+        assert fwd.done and rc.done

@@ -1,0 +1,86 @@
+"""Unit tests for the two-pass (runtime-reconfiguration) model."""
+
+import numpy as np
+import pytest
+
+from repro import build_index
+from repro.fpga.reconfig import TwoPassAccelerator
+from repro.io.readsim import mutate_reads, simulate_reads
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(171)
+    text = "".join("ACGT"[c] for c in rng.integers(0, 4, 3000))
+    index, _ = build_index(text, sf=8)
+    return text, index
+
+
+class TestTwoPass:
+    def test_rejects_bad_params(self, setup):
+        _, index = setup
+        with pytest.raises(ValueError, match="k in"):
+            TwoPassAccelerator(index.backend, k=3)
+        with pytest.raises(ValueError, match="overhead"):
+            TwoPassAccelerator(index.backend, reconfig_seconds=-1)
+
+    def test_all_exact_no_second_pass(self, setup):
+        text, index = setup
+        acc = TwoPassAccelerator(index.backend, k=1)
+        reads = [text[i : i + 40] for i in range(0, 400, 41)]
+        run = acc.map_batch(reads)
+        assert run.exact_mapped == len(reads)
+        assert run.rescued == 0
+        assert run.reconfig_seconds == 0.0
+        assert run.pass2_seconds == 0.0
+        assert run.two_pass_accuracy == 1.0
+
+    def test_mutated_reads_rescued(self, setup):
+        text, index = setup
+        acc = TwoPassAccelerator(index.backend, k=1)
+        clean = [text[i : i + 40] for i in range(0, 800, 80)]
+        mutated = mutate_reads(clean, substitutions=1, seed=5)
+        run = acc.map_batch(mutated)
+        # Exact pass misses (almost) all; rescue recovers them.
+        assert run.exact_mapped < len(mutated)
+        assert run.rescued >= len(mutated) - run.exact_mapped - 1
+        assert run.two_pass_accuracy > run.exact_only_accuracy
+        assert run.reconfig_seconds > 0
+        assert run.pass2_seconds > 0
+        assert run.rescue_steps > 0
+
+    def test_hopeless_reads_not_rescued(self, setup):
+        text, index = setup
+        acc = TwoPassAccelerator(index.backend, k=1)
+        rng = np.random.default_rng(7)
+        foreign = [
+            "".join("ACGT"[c] for c in rng.integers(0, 4, 40)) for _ in range(5)
+        ]
+        run = acc.map_batch(foreign)
+        # Random 40-mers almost surely need > 1 substitution.
+        assert run.rescued <= 1
+        assert run.total_mapped <= run.n_reads
+
+    def test_total_time_is_sum(self, setup):
+        text, index = setup
+        acc = TwoPassAccelerator(index.backend, k=1)
+        reads = mutate_reads([text[i : i + 40] for i in range(0, 400, 80)], 1, seed=9)
+        run = acc.map_batch(reads)
+        assert run.total_seconds == pytest.approx(
+            run.pass1_seconds + run.reconfig_seconds + run.pass2_seconds
+        )
+
+    def test_k2_rescues_double_mutants(self, setup):
+        text, index = setup
+        acc1 = TwoPassAccelerator(index.backend, k=1)
+        acc2 = TwoPassAccelerator(index.backend, k=2)
+        reads = mutate_reads([text[i : i + 30] for i in range(0, 300, 60)], 2, seed=11)
+        run1 = acc1.map_batch(reads)
+        run2 = acc2.map_batch(reads)
+        assert run2.rescued >= run1.rescued
+
+    def test_break_even_fraction_bounds(self, setup):
+        _, index = setup
+        acc = TwoPassAccelerator(index.backend, k=1)
+        frac = acc.break_even_unmapped_fraction(1_000_000, 40)
+        assert 0.0 <= frac <= 1.0

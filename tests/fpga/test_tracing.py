@@ -1,0 +1,79 @@
+"""Unit tests for the Chrome-trace timeline export."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro import build_index
+from repro.fpga.accelerator import FPGAAccelerator
+from repro.fpga.opencl import CommandQueue, CommandType, Context
+from repro.fpga.tracing import timeline_summary, to_trace_events, write_trace
+
+
+@pytest.fixture()
+def busy_queue():
+    q = CommandQueue(Context())
+    buf = q.context.create_buffer(1 << 20)
+    q.enqueue_write_buffer(buf, np.zeros(1 << 17, dtype=np.uint64))
+    q.enqueue_kernel(lambda: "result", modeled_seconds_of=lambda r: 0.010)
+    q.enqueue_read_buffer(buf)
+    return q
+
+
+class TestTraceEvents:
+    def test_slices_cover_all_events(self, busy_queue):
+        events = to_trace_events(busy_queue)
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(slices) == 3
+        cats = {e["cat"] for e in slices}
+        assert cats == {"write_buffer", "kernel", "read_buffer"}
+
+    def test_slices_non_overlapping_in_order(self, busy_queue):
+        slices = sorted(
+            (e for e in to_trace_events(busy_queue) if e["ph"] == "X"),
+            key=lambda e: e["ts"],
+        )
+        for a, b in zip(slices, slices[1:]):
+            assert a["ts"] + a["dur"] <= b["ts"] + 1e-6
+
+    def test_track_metadata_present(self, busy_queue):
+        events = to_trace_events(busy_queue)
+        names = {
+            e["args"]["name"] for e in events if e.get("name") == "thread_name"
+        }
+        assert names == {"h2d transfers", "kernel", "d2h transfers"}
+
+    def test_write_trace_valid_json(self, busy_queue):
+        buf = io.StringIO()
+        n = write_trace(busy_queue, buf)
+        doc = json.loads(buf.getvalue())
+        assert n == 3
+        assert len(doc["traceEvents"]) >= 3
+
+    def test_real_accelerator_run_traces(self):
+        rng = np.random.default_rng(161)
+        text = "".join("ACGT"[c] for c in rng.integers(0, 4, 1000))
+        index, _ = build_index(text, sf=8)
+        acc = FPGAAccelerator.for_index(index)
+        # Drive the queue manually to keep a handle on it.
+        queue = CommandQueue(acc.context, cost_model=acc.cost_model)
+        acc.program(queue)
+        buf = io.StringIO()
+        assert write_trace(queue, buf) >= 1
+
+
+class TestTimelineSummary:
+    def test_busy_times_and_bound(self, busy_queue):
+        summary = timeline_summary(busy_queue)
+        assert summary["kernel"] == pytest.approx(0.010)
+        assert summary["total_seconds"] == pytest.approx(
+            summary["write_buffer"] + summary["kernel"] + summary["read_buffer"]
+        )
+        assert summary["bound_by"] == "kernel"
+
+    def test_empty_queue(self):
+        q = CommandQueue(Context())
+        summary = timeline_summary(q)
+        assert summary["total_seconds"] == 0.0

@@ -1,0 +1,80 @@
+"""Unit tests for FM-index text extraction (self-indexing)."""
+
+import numpy as np
+import pytest
+
+from repro import build_index
+from repro.index.extract import TextExtractor
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(71)
+    text = "".join("ACGT"[c] for c in rng.integers(0, 4, 700))
+    index, _ = build_index(text, b=15, sf=4)
+    return text, index
+
+
+class TestExtract:
+    @pytest.mark.parametrize("k", [1, 4, 16, 64])
+    def test_substrings_match_text(self, setup, k):
+        text, index = setup
+        ex = TextExtractor(index.backend, index.locate_structure.sa, sample_rate=k)
+        rng = np.random.default_rng(k)
+        for _ in range(20):
+            start = int(rng.integers(0, len(text)))
+            length = int(rng.integers(0, min(50, len(text) - start) + 1))
+            assert ex.extract(start, length) == text[start : start + length]
+
+    def test_full_text_roundtrip(self, setup):
+        text, index = setup
+        ex = TextExtractor(index.backend, index.locate_structure.sa, sample_rate=32)
+        assert ex.full_text() == text
+
+    def test_boundaries(self, setup):
+        text, index = setup
+        ex = TextExtractor(index.backend, index.locate_structure.sa, sample_rate=16)
+        assert ex.extract(0, 10) == text[:10]
+        assert ex.extract(len(text) - 10, 10) == text[-10:]
+        assert ex.extract(len(text), 0) == ""
+        assert ex.extract(5, 0) == ""
+
+    def test_bounds_errors(self, setup):
+        text, index = setup
+        ex = TextExtractor(index.backend, index.locate_structure.sa, sample_rate=16)
+        with pytest.raises(IndexError, match="past the text end"):
+            ex.extract(len(text) - 5, 10)
+        with pytest.raises(IndexError, match="start"):
+            ex.extract(len(text) + 1, 0)
+        with pytest.raises(ValueError, match="length"):
+            ex.extract(0, -1)
+
+    def test_rejects_bad_sample_rate(self, setup):
+        _, index = setup
+        with pytest.raises(ValueError, match="sample_rate"):
+            TextExtractor(index.backend, index.locate_structure.sa, sample_rate=0)
+
+    def test_rejects_mismatched_sa(self, setup):
+        _, index = setup
+        with pytest.raises(ValueError, match="length"):
+            TextExtractor(index.backend, np.arange(5), sample_rate=4)
+
+    def test_works_on_occ_backend(self, setup):
+        text, _ = setup
+        occ_index, _ = build_index(text, backend="occ")
+        ex = TextExtractor(occ_index.backend, occ_index.locate_structure.sa, sample_rate=16)
+        assert ex.extract(100, 40) == text[100:140]
+
+    def test_size_scales_with_rate(self, setup):
+        _, index = setup
+        sa = index.locate_structure.sa
+        dense = TextExtractor(index.backend, sa, sample_rate=4)
+        sparse = TextExtractor(index.backend, sa, sample_rate=64)
+        assert sparse.size_in_bytes() < dense.size_in_bytes()
+
+    def test_extract_codes(self, setup):
+        text, index = setup
+        from repro.sequence.alphabet import encode
+
+        ex = TextExtractor(index.backend, index.locate_structure.sa, sample_rate=8)
+        assert np.array_equal(ex.extract_codes(50, 25), encode(text[50:75]))

@@ -1,0 +1,115 @@
+"""Unit tests for the multi-sequence reference index."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.naive import find_all
+from repro.index.multiref import MultiReferenceIndex
+from repro.io.fasta import FastaRecord
+from repro.sequence.alphabet import reverse_complement
+
+
+def make_seq(n, seed):
+    rng = np.random.default_rng(seed)
+    return "".join("ACGT"[c] for c in rng.integers(0, 4, n))
+
+
+@pytest.fixture(scope="module")
+def refs():
+    return [("chr1", make_seq(600, 1)), ("chr2", make_seq(400, 2)), ("plasmid", make_seq(200, 3))]
+
+
+@pytest.fixture(scope="module")
+def index(refs):
+    return MultiReferenceIndex(refs, b=15, sf=4)
+
+
+class TestConstruction:
+    def test_rejects_empty_set(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MultiReferenceIndex([])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            MultiReferenceIndex([("a", "ACGT"), ("a", "GGTT")])
+
+    def test_rejects_empty_sequences(self):
+        with pytest.raises(ValueError, match="empty"):
+            MultiReferenceIndex([("a", "")])
+
+    def test_accepts_fasta_records(self):
+        m = MultiReferenceIndex(
+            [FastaRecord("x", "", "ACGTACGTACGT"), FastaRecord("y", "", "TTTTCCCC")],
+            sf=2,
+        )
+        assert m.n_sequences == 2
+
+    def test_metadata(self, index, refs):
+        assert index.n_sequences == 3
+        assert index.total_length == sum(len(s) for _, s in refs)
+        assert index.sequence_length("chr2") == 400
+        with pytest.raises(KeyError):
+            index.sequence_length("chrX")
+
+
+class TestCoordinates:
+    def test_roundtrip(self, index, refs):
+        for name, seq in refs:
+            for pos in [0, len(seq) // 2, len(seq) - 1]:
+                g = index.to_global(name, pos)
+                assert index.to_local(g) == (name, pos)
+
+    def test_global_bounds(self, index):
+        with pytest.raises(IndexError):
+            index.to_local(index.total_length)
+        with pytest.raises(IndexError):
+            index.to_global("chr1", 600)
+        with pytest.raises(KeyError):
+            index.to_global("nope", 0)
+
+
+class TestQueries:
+    def test_locate_matches_per_sequence_oracle(self, index, refs):
+        for name, seq in refs:
+            pat = seq[100:130]
+            hits = index.locate(pat)
+            expected = [
+                (n, p) for n, s in refs for p in find_all(s, pat)
+            ]
+            assert sorted(hits) == sorted(expected)
+
+    def test_boundary_spanning_hits_filtered(self, index, refs):
+        chr1, chr2 = refs[0][1], refs[1][1]
+        spanning = chr1[-12:] + chr2[:12]
+        # The concatenation contains it, but no single sequence does.
+        assert index.index.count(spanning) >= 1
+        assert index.count(spanning) == 0
+
+    def test_short_pattern_across_all(self, index, refs):
+        pat = "ACG"
+        total = sum(len(find_all(s, pat)) for _, s in refs)
+        assert index.count(pat) == total
+
+    def test_map_read_both_strands(self, index, refs):
+        name, seq = refs[1]
+        read = reverse_complement(seq[200:240])
+        mapping = index.map_read(read)
+        assert mapping.mapped
+        assert any(
+            h.name == name and h.position == 200 and h.strand == "-"
+            for h in mapping.hits
+        )
+
+    def test_map_reads_ids(self, index, refs):
+        reads = [refs[0][1][:30], "ACGT" * 10]
+        out = index.map_reads(reads)
+        assert [m.read_id for m in out] == [0, 1]
+        assert out[0].mapped and not out[1].mapped
+
+
+class TestSamHeader:
+    def test_sq_lines(self, index, refs):
+        header = index.sam_header()
+        assert header[0].startswith("@HD")
+        for name, seq in refs:
+            assert f"@SQ\tSN:{name}\tLN:{len(seq)}" in header

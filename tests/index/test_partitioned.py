@@ -1,0 +1,109 @@
+"""Unit tests for the partitioned (>capacity) index."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.fpga.cost_model import DEFAULT_COST_MODEL
+from repro.index.partitioned import PartitionedIndex
+
+
+def make_seq(n, seed):
+    rng = np.random.default_rng(seed)
+    return "".join("ACGT"[c] for c in rng.integers(0, 4, n))
+
+
+@pytest.fixture(scope="module")
+def reference():
+    # Include a planted repeat that straddles a chunk boundary.
+    base = make_seq(2500, 11)
+    motif = base[100:160]
+    return base[:780] + motif + base[780:]
+
+
+@pytest.fixture(scope="module")
+def pindex(reference):
+    return PartitionedIndex(reference, chunk_bases=700, max_query_length=60, sf=4)
+
+
+class TestConstruction:
+    def test_chunk_count_and_overlap(self, reference, pindex):
+        assert pindex.overlap == 59
+        assert pindex.n_chunks == (len(reference) + 699) // 700 or pindex.n_chunks >= 3
+        # Consecutive chunks overlap by exactly `overlap` bases.
+        for a, b in zip(pindex.chunks, pindex.chunks[1:]):
+            assert b.start == a.start + 700
+            assert a.end - b.start == pindex.overlap or a.end == len(reference)
+
+    def test_rejects_tiny_chunks(self, reference):
+        with pytest.raises(ValueError, match="chunk_bases"):
+            PartitionedIndex(reference, chunk_bases=10, max_query_length=60)
+
+    def test_rejects_bad_query_length(self, reference):
+        with pytest.raises(ValueError, match="max_query_length"):
+            PartitionedIndex(reference, chunk_bases=700, max_query_length=0)
+
+
+class TestQueries:
+    def test_locate_matches_regex_oracle(self, reference, pindex):
+        rng = np.random.default_rng(5)
+        for _ in range(15):
+            start = int(rng.integers(0, len(reference) - 55))
+            pat = reference[start : start + 55]
+            expected = [m.start() for m in re.finditer(f"(?={pat})", reference)]
+            assert pindex.locate(pat).tolist() == expected, start
+
+    def test_boundary_straddling_hit_found(self, reference, pindex):
+        # A pattern crossing the 700-base seam must still be found.
+        pat = reference[680 : 680 + 55]
+        assert 680 in pindex.locate(pat).tolist()
+
+    def test_overlap_hits_not_duplicated(self, reference, pindex):
+        # The planted repeat occurs twice; hits inside an overlap region
+        # are seen by two chunks but must be reported once.
+        motif = reference[880:935]  # inside the planted copy
+        positions = pindex.locate(motif)
+        assert positions.size == len(set(positions.tolist()))
+        expected = [m.start() for m in re.finditer(f"(?={motif})", reference)]
+        assert positions.tolist() == expected
+
+    def test_count(self, reference, pindex):
+        pat = reference[50:105]
+        assert pindex.count(pat) == len(
+            re.findall(f"(?={pat})", reference)
+        )
+
+    def test_rejects_overlong_pattern(self, pindex):
+        with pytest.raises(ValueError, match="exceeds"):
+            pindex.locate("A" * 61)
+
+    def test_map_read_strands(self, reference, pindex):
+        from repro.sequence.alphabet import reverse_complement
+
+        read = reverse_complement(reference[1200:1255])
+        hits = pindex.map_read(read)
+        assert 1200 in hits["-"].tolist()
+        assert hits["+"].size == 0 or 1200 not in hits["+"].tolist()
+
+
+class TestCostModel:
+    def test_reload_overhead_scales_with_chunks(self, reference):
+        small_chunks = PartitionedIndex(reference, chunk_bases=400, max_query_length=40, sf=4)
+        big_chunks = PartitionedIndex(reference, chunk_bases=1600, max_query_length=40, sf=4)
+        t_small = small_chunks.modeled_fpga_seconds(10_000, 1_000)
+        t_big = big_chunks.modeled_fpga_seconds(10_000, 1_000)
+        # More chunks -> more reload overhead (same total work).
+        assert small_chunks.n_chunks > big_chunks.n_chunks
+        assert t_small > t_big
+
+    def test_structure_bytes_reported(self, pindex):
+        sizes = pindex.structure_bytes_per_chunk()
+        assert len(sizes) == pindex.n_chunks
+        assert all(s > 0 for s in sizes)
+
+    def test_cost_uses_model(self, pindex):
+        t = pindex.modeled_fpga_seconds(50_000, 2_000, cost_model=DEFAULT_COST_MODEL)
+        assert t > DEFAULT_COST_MODEL.load_seconds(
+            sum(pindex.structure_bytes_per_chunk())
+        ) * 0.99

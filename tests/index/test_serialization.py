@@ -1,0 +1,84 @@
+"""Unit tests for index save/load."""
+
+import numpy as np
+import pytest
+
+from repro.index.builder import build_index
+from repro.index.serialization import IndexFormatError, load_index, save_index
+
+
+@pytest.fixture()
+def tmp_index_path(tmp_path):
+    return tmp_path / "index.npz"
+
+
+class TestRoundTrip:
+    def test_rrr_backend(self, small_text, tmp_index_path):
+        index, _ = build_index(small_text, b=15, sf=8)
+        save_index(index, tmp_index_path)
+        loaded = load_index(tmp_index_path)
+        for pat in ["ACG", small_text[100:130], "ACGT" * 10]:
+            assert loaded.count(pat) == index.count(pat)
+            assert loaded.locate(pat).tolist() == index.locate(pat).tolist()
+
+    def test_occ_backend(self, small_text, tmp_index_path):
+        index, _ = build_index(small_text, backend="occ")
+        save_index(index, tmp_index_path)
+        loaded = load_index(tmp_index_path)
+        assert loaded.count(small_text[5:25]) == index.count(small_text[5:25])
+
+    def test_sampled_locate(self, small_text, tmp_index_path):
+        index, _ = build_index(small_text, locate="sampled", sa_sample_rate=8, sf=8)
+        save_index(index, tmp_index_path)
+        loaded = load_index(tmp_index_path)
+        pat = small_text[60:90]
+        assert loaded.locate(pat).tolist() == index.locate(pat).tolist()
+
+    def test_no_locate(self, small_text, tmp_index_path):
+        index, _ = build_index(small_text, locate="none", sf=8)
+        save_index(index, tmp_index_path)
+        loaded = load_index(tmp_index_path)
+        assert loaded.locate_structure is None
+
+    def test_parameters_preserved(self, small_text, tmp_index_path):
+        index, _ = build_index(small_text, b=10, sf=12)
+        save_index(index, tmp_index_path)
+        loaded = load_index(tmp_index_path)
+        assert loaded.backend.b == 10
+        assert loaded.backend.sf == 12
+
+    def test_sentinel_variant_preserved(self, small_text, tmp_index_path):
+        index, _ = build_index(small_text, store_sentinel_in_tree=True, sf=8)
+        save_index(index, tmp_index_path)
+        loaded = load_index(tmp_index_path)
+        assert loaded.backend.store_sentinel_in_tree is True
+
+
+class TestErrors:
+    def test_missing_field(self, tmp_index_path):
+        np.savez(tmp_index_path, bogus=np.zeros(3))
+        with pytest.raises(IndexFormatError, match="missing field"):
+            load_index(tmp_index_path)
+
+    def test_bad_version(self, small_text, tmp_index_path):
+        import json
+
+        index, _ = build_index(small_text, sf=8)
+        save_index(index, tmp_index_path)
+        with np.load(tmp_index_path) as data:
+            arrays = dict(data)
+        meta = json.loads(bytes(arrays["meta_json"]).decode())
+        meta["version"] = 999
+        arrays["meta_json"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8).copy()
+        np.savez(tmp_index_path, **arrays)
+        with pytest.raises(IndexFormatError, match="version"):
+            load_index(tmp_index_path)
+
+    def test_unsupported_backend_type(self, small_text, tmp_index_path):
+        from repro.index.fm_index import FMIndex
+
+        class FakeBackend:
+            n_rows = 1
+
+        with pytest.raises(IndexFormatError, match="cannot serialize"):
+            save_index(FMIndex(FakeBackend(), locate_structure=None), tmp_index_path)

@@ -1,0 +1,98 @@
+"""Unit tests for FASTQ parsing/writing and failure injection."""
+
+import pytest
+
+from repro.io.fastq import (
+    FastqError,
+    FastqRecord,
+    read_fastq,
+    read_fastq_str,
+    sequences,
+    write_fastq,
+)
+
+
+class TestParse:
+    def test_single_record(self):
+        recs = read_fastq_str("@r1 lane1\nACGT\n+\nIIII\n")
+        assert len(recs) == 1
+        assert recs[0].name == "r1"
+        assert recs[0].description == "lane1"
+        assert recs[0].sequence == "ACGT"
+        assert recs[0].quality == "IIII"
+
+    def test_multi_record(self):
+        text = "@a\nAC\n+\nII\n@b\nGT\n+a\nII\n"
+        recs = read_fastq_str(text)
+        assert [r.name for r in recs] == ["a", "b"]
+
+    def test_plus_with_name_ok(self):
+        recs = read_fastq_str("@x\nACGT\n+x\nIIII\n")
+        assert recs[0].sequence == "ACGT"
+
+    def test_lowercase_uppercased(self):
+        assert read_fastq_str("@x\nacgt\n+\nIIII\n")[0].sequence == "ACGT"
+
+    def test_blank_lines_between_records(self):
+        recs = read_fastq_str("@a\nAC\n+\nII\n\n@b\nGT\n+\nII\n")
+        assert len(recs) == 2
+
+    def test_empty_input(self):
+        assert read_fastq_str("") == []
+
+
+class TestFailureInjection:
+    def test_truncated_record(self):
+        with pytest.raises(FastqError, match="truncated"):
+            read_fastq_str("@r1\nACGT\n+\n")
+
+    def test_missing_at(self):
+        with pytest.raises(FastqError, match="'@'"):
+            read_fastq_str("r1\nACGT\n+\nIIII\n")
+
+    def test_missing_plus(self):
+        with pytest.raises(FastqError, match=r"'\+'"):
+            read_fastq_str("@r1\nACGT\nIIII\nACGT\n")
+
+    def test_quality_length_mismatch(self):
+        with pytest.raises(FastqError, match="quality length"):
+            read_fastq_str("@r1\nACGT\n+\nII\n")
+
+    def test_empty_header(self):
+        with pytest.raises(FastqError, match="empty FASTQ header"):
+            read_fastq_str("@\nAC\n+\nII\n")
+
+
+class TestQuality:
+    def test_mean_quality(self):
+        rec = FastqRecord("x", "ACGT", "IIII")  # 'I' = Q40 in Sanger
+        assert rec.mean_quality() == pytest.approx(40.0)
+
+    def test_mean_quality_empty(self):
+        assert FastqRecord("x", "", "").mean_quality() == 0.0
+
+
+class TestFiles:
+    def test_roundtrip_plain(self, tmp_path):
+        recs = [FastqRecord("a", "ACGT", "IIII"), FastqRecord("b", "GG", "##", "d")]
+        path = tmp_path / "r.fq"
+        write_fastq(recs, path)
+        back = read_fastq(path)
+        assert [(r.name, r.sequence, r.quality) for r in back] == [
+            (r.name, r.sequence, r.quality) for r in recs
+        ]
+
+    def test_roundtrip_gzip(self, tmp_path):
+        path = tmp_path / "r.fq.gz"
+        write_fastq([FastqRecord("a", "ACGT", "IIII")], path, compress=True)
+        assert read_fastq(path)[0].sequence == "ACGT"
+
+    def test_write_rejects_mismatch(self, tmp_path):
+        with pytest.raises(FastqError, match="mismatch"):
+            write_fastq([FastqRecord("a", "ACGT", "II")], tmp_path / "bad.fq")
+
+
+class TestSequences:
+    def test_extracts_in_order(self):
+        recs = [FastqRecord("a", "AC", "II"), FastqRecord("b", "GT", "II")]
+        assert sequences(recs) == ["AC", "GT"]

@@ -1,0 +1,87 @@
+"""Unit tests for read-set QC."""
+
+import numpy as np
+import pytest
+
+from repro.io.fastq import FastqRecord
+from repro.io.qc import qc_reads
+from repro.io.readsim import simulate_reads
+from repro.io.refgen import E_COLI_LIKE, generate_reference
+
+
+class TestQcStrings:
+    def test_empty_set(self):
+        qc = qc_reads([])
+        assert qc.n_reads == 0
+        assert qc.warnings() == ["read set is empty"]
+
+    def test_basic_stats(self):
+        qc = qc_reads(["ACGT", "GGCC", "AATT"])
+        assert qc.n_reads == 3
+        assert qc.uniform_length
+        assert qc.length_mean == 4.0
+        assert qc.gc_fraction == pytest.approx(6 / 12)
+        assert qc.invalid_reads == 0
+        assert qc.mean_quality is None
+
+    def test_mixed_lengths_flagged(self):
+        qc = qc_reads(["ACGT", "ACGTACGT"])
+        assert not qc.uniform_length
+        assert any("mixed read lengths" in w for w in qc.warnings())
+
+    def test_duplication_rate(self):
+        qc = qc_reads(["ACGT"] * 9 + ["GGCC"])
+        assert qc.duplication_rate == pytest.approx(0.8)
+        assert any("duplication" in w for w in qc.warnings())
+
+    def test_invalid_reads_counted(self):
+        qc = qc_reads(["ACGT", "ACGN", "XXXX"])
+        assert qc.invalid_reads == 2
+        assert any("non-ACGT" in w for w in qc.warnings())
+
+    def test_oversized_reads_flagged(self):
+        qc = qc_reads(["A" * 200])
+        assert any("176-base" in w for w in qc.warnings())
+
+    def test_length_histogram(self):
+        qc = qc_reads(["AC", "AC", "ACGT"])
+        assert qc.length_histogram == {2: 2, 4: 1}
+
+
+class TestQcFastq:
+    def test_quality_stats(self):
+        records = [
+            FastqRecord("a", "ACGT", "IIII"),  # Q40
+            FastqRecord("b", "ACGT", "!!!!"),  # Q0
+        ]
+        qc = qc_reads(records)
+        assert qc.mean_quality == pytest.approx(20.0)
+        assert qc.low_quality_fraction == pytest.approx(0.5)
+
+    def test_low_quality_warning(self):
+        records = [FastqRecord("a", "ACGT", "####")] * 3  # Q2
+        qc = qc_reads(records)
+        assert any("quality" in w for w in qc.warnings())
+
+    def test_healthy_set_no_warnings(self):
+        ref = generate_reference(E_COLI_LIKE, scale=0.002, seed=9)
+        rs = simulate_reads(ref, 50, 60, mapping_ratio=1.0, seed=10)
+        qc = qc_reads(rs.to_fastq())
+        assert qc.warnings() == []
+        assert qc.n_reads == 50
+        assert 0.3 < qc.gc_fraction < 0.7
+
+    def test_to_dict_jsonable(self):
+        import json
+
+        qc = qc_reads([FastqRecord("a", "ACGT", "IIII")])
+        doc = json.loads(json.dumps(qc.to_dict()))
+        assert doc["n_reads"] == 1
+        assert doc["length"]["uniform"] is True
+
+    def test_gc_quartiles_ordered(self):
+        rng = np.random.default_rng(11)
+        reads = ["".join("ACGT"[c] for c in rng.integers(0, 4, 50)) for _ in range(40)]
+        qc = qc_reads(reads)
+        q1, q2, q3 = qc.gc_quartiles
+        assert q1 <= q2 <= q3

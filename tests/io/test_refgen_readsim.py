@@ -1,0 +1,158 @@
+"""Unit tests for the reference generator and read simulator."""
+
+import numpy as np
+import pytest
+
+from repro.io.readsim import mutate_reads, simulate_reads
+from repro.io.refgen import (
+    CHR21_LIKE,
+    E_COLI_LIKE,
+    ReferenceProfile,
+    generate_reference,
+    repeat_content_estimate,
+)
+from repro.sequence.alphabet import gc_fraction, reverse_complement
+
+
+@pytest.fixture(scope="module")
+def ecoli_ref():
+    return generate_reference(E_COLI_LIKE, scale=0.01, seed=3)
+
+
+class TestRefgen:
+    def test_length_matches_scale(self, ecoli_ref):
+        expected = int(E_COLI_LIKE.full_length * 0.01)
+        assert abs(len(ecoli_ref) - expected) <= 1
+
+    def test_alphabet(self, ecoli_ref):
+        assert set(ecoli_ref) <= set("ACGT")
+
+    def test_gc_content_near_profile(self, ecoli_ref):
+        assert abs(gc_fraction(ecoli_ref) - E_COLI_LIKE.gc_content) < 0.03
+
+    def test_chr21_lower_gc(self):
+        chr21 = generate_reference(CHR21_LIKE, scale=0.002, seed=3)
+        assert gc_fraction(chr21) < gc_fraction(
+            generate_reference(E_COLI_LIKE, scale=0.01, seed=3)
+        )
+
+    def test_chr21_more_repetitive(self):
+        ecoli = generate_reference(E_COLI_LIKE, scale=0.004, seed=9)
+        chr21 = generate_reference(CHR21_LIKE, scale=0.0005, seed=9)
+        assert repeat_content_estimate(chr21) > repeat_content_estimate(ecoli)
+
+    def test_deterministic_per_seed(self):
+        a = generate_reference(E_COLI_LIKE, scale=0.002, seed=1)
+        b = generate_reference(E_COLI_LIKE, scale=0.002, seed=1)
+        c = generate_reference(E_COLI_LIKE, scale=0.002, seed=2)
+        assert a == b
+        assert a != c
+
+    def test_scale_bounds(self):
+        with pytest.raises(ValueError):
+            E_COLI_LIKE.scaled(0)
+        with pytest.raises(ValueError):
+            E_COLI_LIKE.scaled(1.5)
+
+    def test_custom_profile(self):
+        prof = ReferenceProfile(
+            name="toy",
+            full_length=5000,
+            gc_content=0.6,
+            repeat_fraction=0.0,
+            repeat_unit_mean=100,
+        )
+        ref = generate_reference(prof, scale=1.0, seed=0)
+        assert len(ref) == 5000
+        assert abs(gc_fraction(ref) - 0.6) < 0.05
+
+    def test_repeat_estimate_trivial(self):
+        assert repeat_content_estimate("ACG", k=31) == 0.0
+
+
+class TestSimulateReads:
+    def test_counts_and_lengths(self, ecoli_ref):
+        rs = simulate_reads(ecoli_ref, 100, 50, mapping_ratio=0.5, seed=1)
+        assert rs.n_reads == 100
+        assert all(len(r) == 50 for r in rs.reads)
+        assert rs.read_length == 50
+
+    def test_mapping_ratio_exact(self, ecoli_ref):
+        for ratio in [0.0, 0.25, 0.5, 1.0]:
+            rs = simulate_reads(ecoli_ref, 80, 40, mapping_ratio=ratio, seed=2)
+            truly_mapped = sum(
+                1
+                for r in rs.reads
+                if r in ecoli_ref or reverse_complement(r) in ecoli_ref
+            )
+            assert truly_mapped == int(round(80 * ratio)), ratio
+            assert rs.mapping_ratio == pytest.approx(ratio)
+
+    def test_truth_consistent(self, ecoli_ref):
+        rs = simulate_reads(ecoli_ref, 60, 45, mapping_ratio=0.5, seed=3)
+        for read, truth in zip(rs.reads, rs.truth):
+            occurs = read in ecoli_ref or reverse_complement(read) in ecoli_ref
+            assert occurs == truth.mapped
+            if truth.mapped and truth.strand == "+":
+                assert ecoli_ref[truth.position : truth.position + 45] == read
+            if truth.mapped and truth.strand == "-":
+                assert (
+                    reverse_complement(ecoli_ref[truth.position : truth.position + 45])
+                    == read
+                )
+
+    def test_rc_fraction_zero(self, ecoli_ref):
+        rs = simulate_reads(ecoli_ref, 50, 40, mapping_ratio=1.0, rc_fraction=0.0, seed=4)
+        assert all(t.strand == "+" for t in rs.truth)
+
+    def test_rc_fraction_one(self, ecoli_ref):
+        rs = simulate_reads(ecoli_ref, 50, 40, mapping_ratio=1.0, rc_fraction=1.0, seed=5)
+        assert all(t.strand == "-" for t in rs.truth)
+
+    def test_deterministic(self, ecoli_ref):
+        a = simulate_reads(ecoli_ref, 30, 35, seed=6)
+        b = simulate_reads(ecoli_ref, 30, 35, seed=6)
+        assert a.reads == b.reads
+
+    def test_to_fastq(self, ecoli_ref):
+        rs = simulate_reads(ecoli_ref, 10, 30, seed=7)
+        records = rs.to_fastq()
+        assert len(records) == 10
+        assert all(len(r.quality) == 30 for r in records)
+        assert [r.sequence for r in records] == rs.reads
+
+    def test_parameter_validation(self, ecoli_ref):
+        with pytest.raises(ValueError, match="mapping_ratio"):
+            simulate_reads(ecoli_ref, 10, 30, mapping_ratio=1.5)
+        with pytest.raises(ValueError, match="read_length"):
+            simulate_reads(ecoli_ref, 10, 0)
+        with pytest.raises(ValueError, match="exceeds reference"):
+            simulate_reads("ACGT", 10, 100)
+        with pytest.raises(ValueError, match="rc_fraction"):
+            simulate_reads(ecoli_ref, 10, 30, rc_fraction=2.0)
+
+    def test_saturated_reference_raises(self):
+        # Every 1-mer occurs: unmapped reads are impossible.
+        with pytest.raises(RuntimeError, match="unmapped"):
+            simulate_reads("ACGTACGTACGT", 5, 1, mapping_ratio=0.0, seed=0)
+
+
+class TestMutateReads:
+    def test_exact_substitution_count(self):
+        reads = ["ACGTACGTACGTACGTACGT"]
+        for k in [0, 1, 3]:
+            out = mutate_reads(reads, substitutions=k, seed=1)[0]
+            diff = sum(1 for a, b in zip(reads[0], out) if a != b)
+            assert diff == k
+
+    def test_length_preserved(self):
+        out = mutate_reads(["ACGTACGT"], 2, seed=2)[0]
+        assert len(out) == 8
+
+    def test_rejects_too_many(self):
+        with pytest.raises(ValueError, match="more substitutions"):
+            mutate_reads(["ACG"], 4)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            mutate_reads(["ACG"], -1)

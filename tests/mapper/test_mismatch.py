@@ -1,0 +1,116 @@
+"""Unit tests for k-mismatch backward search against the Hamming oracle."""
+
+import numpy as np
+import pytest
+
+from repro import build_index
+from repro.baseline.naive import find_with_mismatches
+from repro.io.readsim import mutate_reads
+from repro.mapper.mismatch import (
+    count_with_mismatches,
+    locate_with_mismatches,
+    map_with_rescue,
+    search_with_mismatches,
+)
+
+
+@pytest.fixture(scope="module")
+def text():
+    rng = np.random.default_rng(77)
+    return "".join("ACGT"[c] for c in rng.integers(0, 4, 600))
+
+
+@pytest.fixture(scope="module")
+def index(text):
+    idx, _ = build_index(text, b=15, sf=4)
+    return idx
+
+
+class TestSearchWithMismatches:
+    def test_k0_equals_exact(self, index, text):
+        pat = text[100:120]
+        hits = search_with_mismatches(index, pat, 0)
+        exact = index.search(pat)
+        assert len(hits) == 1
+        assert (hits[0].start, hits[0].end) == (exact.start, exact.end)
+        assert hits[0].mismatches == 0
+
+    def test_rejects_negative_k(self, index):
+        with pytest.raises(ValueError):
+            search_with_mismatches(index, "ACGT", -1)
+
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    def test_locate_matches_hamming_oracle(self, index, text, k):
+        rng = np.random.default_rng(k)
+        for _ in range(5):
+            start = int(rng.integers(0, len(text) - 15))
+            pat = text[start : start + 15]
+            got = locate_with_mismatches(index, pat, k)
+            expected = find_with_mismatches(text, pat, k)
+            assert got == expected, (k, start)
+
+    def test_mutated_read_found_with_k1(self, index, text):
+        read = text[200:230]
+        mutated = mutate_reads([read], substitutions=1, seed=3)[0]
+        assert mutated != read
+        positions = [p for p, m in locate_with_mismatches(index, mutated, 1)]
+        assert 200 in positions
+
+    def test_two_mutations_need_k2(self, index, text):
+        read = text[300:330]
+        mutated = mutate_reads([read], substitutions=2, seed=5)[0]
+        pos_k1 = [p for p, m in locate_with_mismatches(index, mutated, 1)]
+        pos_k2 = [p for p, m in locate_with_mismatches(index, mutated, 2)]
+        assert 300 not in pos_k1 or index.count(mutated) > 0
+        assert 300 in pos_k2
+
+    def test_count_sums_intervals(self, index, text):
+        pat = text[50:62]
+        total = count_with_mismatches(index, pat, 1)
+        oracle = len(find_with_mismatches(text, pat, 1))
+        assert total == oracle
+
+    def test_mismatch_counts_minimal(self, index, text):
+        # Each reported (position, m) must be the true Hamming distance.
+        pat = text[400:416]
+        got = dict(locate_with_mismatches(index, pat, 2))
+        oracle = dict(find_with_mismatches(text, pat, 2))
+        assert got == oracle
+
+
+class TestRescue:
+    def test_exact_read_no_rescue_needed(self, index, text):
+        read = text[120:150]
+        out = map_with_rescue(index, [read], k=2)
+        assert out[0] is not None
+        assert out[0].mismatches == 0
+        assert 120 in out[0].positions
+
+    def test_mutated_read_rescued(self, index, text):
+        read = mutate_reads([text[250:280]], substitutions=2, seed=11)[0]
+        out = map_with_rescue(index, [read], k=2)
+        assert out[0] is not None
+        assert out[0].mismatches <= 2
+        assert 250 in out[0].positions
+
+    def test_hopeless_read_returns_none(self, index, text):
+        # A read needing > k substitutions anywhere.
+        rng = np.random.default_rng(13)
+        while True:
+            cand = "".join("ACGT"[c] for c in rng.integers(0, 4, 30))
+            from repro.sequence.alphabet import reverse_complement
+
+            near = find_with_mismatches(text, cand, 2)
+            near_rc = find_with_mismatches(text, reverse_complement(cand), 2)
+            if not near and not near_rc:
+                break
+        out = map_with_rescue(index, [cand], k=2)
+        assert out[0] is None
+
+    def test_reverse_strand_rescue(self, index, text):
+        from repro.sequence.alphabet import reverse_complement
+
+        read = mutate_reads([reverse_complement(text[330:360])], 1, seed=17)[0]
+        out = map_with_rescue(index, [read], k=1)
+        assert out[0] is not None
+        assert out[0].strand == "-"

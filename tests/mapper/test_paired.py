@@ -1,0 +1,103 @@
+"""Unit tests for paired-end mapping."""
+
+import numpy as np
+import pytest
+
+from repro import build_index
+from repro.mapper.paired import PairedEndMapper, simulate_read_pairs
+from repro.sequence.alphabet import reverse_complement
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(91)
+    ref = "".join("ACGT"[c] for c in rng.integers(0, 4, 6000))
+    index, _ = build_index(ref, sf=4)
+    return ref, index
+
+
+class TestSimulatePairs:
+    def test_shapes_and_truth(self, setup):
+        ref, _ = setup
+        pairs, truth = simulate_read_pairs(ref, 15, 50, insert_mean=250, seed=1)
+        assert len(pairs) == len(truth) == 15
+        for (m1, m2), (start, insert) in zip(pairs, truth):
+            assert len(m1) == len(m2) == 50
+            assert ref[start : start + 50] == m1
+            frag_end = start + insert
+            assert reverse_complement(ref[frag_end - 50 : frag_end]) == m2
+
+    def test_rejects_bad_length(self, setup):
+        ref, _ = setup
+        with pytest.raises(ValueError):
+            simulate_read_pairs(ref, 5, 0)
+
+
+class TestPairedEndMapper:
+    def test_rejects_bad_insert_range(self, setup):
+        _, index = setup
+        with pytest.raises(ValueError, match="insert"):
+            PairedEndMapper(index, min_insert=500, max_insert=100)
+
+    def test_proper_pairs_found_at_truth(self, setup):
+        ref, index = setup
+        pairs, truth = simulate_read_pairs(ref, 25, 50, insert_mean=300, seed=2)
+        mapper = PairedEndMapper(index, min_insert=150, max_insert=450)
+        results = mapper.map_pairs(pairs)
+        for res, (start, insert) in zip(results, truth):
+            assert res.is_proper
+            best = res.best
+            assert best.pos1 == start
+            assert best.insert_size == insert
+            assert best.strand1 == "+" and best.strand2 == "-"
+
+    def test_swapped_mates_detected_rf(self, setup):
+        """Mate order reversed: mate1 is the reverse read (strand1 '-')."""
+        ref, index = setup
+        pairs, truth = simulate_read_pairs(ref, 5, 50, insert_mean=300, seed=3)
+        mapper = PairedEndMapper(index, min_insert=150, max_insert=450)
+        for (m1, m2), (start, insert) in zip(pairs, truth):
+            res = mapper.map_pair(m2, m1)  # swapped
+            assert res.is_proper
+            assert res.best.strand1 == "-"
+            assert res.best.insert_size == insert
+
+    def test_insert_out_of_range_not_proper(self, setup):
+        ref, index = setup
+        pairs, truth = simulate_read_pairs(ref, 5, 50, insert_mean=300, seed=4)
+        tight = PairedEndMapper(index, min_insert=100, max_insert=120)
+        for (m1, m2), (_, insert) in zip(pairs, truth):
+            assert insert > 120
+            assert not tight.map_pair(m1, m2).is_proper
+
+    def test_unmapped_mate_not_proper(self, setup):
+        ref, index = setup
+        mate1 = ref[1000:1050]
+        foreign = "ACGT" * 13  # almost surely absent
+        mapper = PairedEndMapper(index, min_insert=100, max_insert=600)
+        res = mapper.map_pair(mate1, foreign[:50])
+        if res.mate2_hits == 0:
+            assert not res.is_proper
+
+    def test_hit_counts_reported(self, setup):
+        ref, index = setup
+        pairs, _ = simulate_read_pairs(ref, 3, 50, seed=5)
+        res = PairedEndMapper(index).map_pair(*pairs[0])
+        assert res.mate1_hits >= 1 and res.mate2_hits >= 1
+
+    def test_repeat_disambiguation(self, setup):
+        """A mate landing in a duplicated region is rescued by its pair."""
+        rng = np.random.default_rng(6)
+        unique = "".join("ACGT"[c] for c in rng.integers(0, 4, 2000))
+        repeat = "".join("ACGT"[c] for c in rng.integers(0, 4, 60))
+        # Repeat at two loci; a fragment ties one copy to unique sequence.
+        ref = unique[:800] + repeat + unique[800:1600] + repeat + unique[1600:]
+        index, _ = build_index(ref, sf=4)
+        mate1 = ref[700:750]  # unique, upstream of the first repeat copy
+        frag_end = 700 + 220
+        mate2 = reverse_complement(ref[frag_end - 50 : frag_end])  # inside repeat copy 1
+        mapper = PairedEndMapper(index, min_insert=150, max_insert=300)
+        res = mapper.map_pair(mate1, mate2)
+        assert res.is_proper
+        # The proper pairing pins the fragment to the first copy.
+        assert res.best.pos1 == 700

@@ -1,0 +1,99 @@
+"""Unit tests for 512-bit query record packing."""
+
+import numpy as np
+import pytest
+
+from repro.mapper.query import (
+    MAX_QUERY_BASES,
+    QUERY_WORDS,
+    QueryTooLongError,
+    pack_queries,
+    pack_query,
+    unpack_queries,
+    unpack_query,
+)
+from repro.sequence.alphabet import random_sequence
+
+
+class TestPackQuery:
+    def test_roundtrip_various_lengths(self):
+        rng = np.random.default_rng(0)
+        for n in [1, 35, 40, 100, 175, MAX_QUERY_BASES]:
+            seq = random_sequence(n, rng)
+            rec = unpack_query(pack_query(seq, query_id=n, flags=0))
+            assert rec.sequence == seq
+            assert rec.query_id == n
+            assert rec.length == n
+
+    def test_record_is_512_bits(self):
+        words = pack_query("ACGT", 0)
+        assert words.size == QUERY_WORDS
+        assert words.dtype == np.uint64
+
+    def test_too_long_rejected(self):
+        rng = np.random.default_rng(1)
+        seq = random_sequence(MAX_QUERY_BASES + 1, rng)
+        with pytest.raises(QueryTooLongError, match="176"):
+            pack_query(seq, 0)
+
+    def test_id_flags_ranges(self):
+        with pytest.raises(ValueError, match="32 bits"):
+            pack_query("ACGT", 1 << 32)
+        with pytest.raises(ValueError, match="8 bits"):
+            pack_query("ACGT", 0, flags=256)
+
+    def test_flags_roundtrip(self):
+        rec = unpack_query(pack_query("ACGT", 7, flags=0b101))
+        assert rec.flags == 0b101
+
+    def test_max_length_sequence_no_metadata_clash(self):
+        # A 176-base read fills bits 0..351 exactly; length/id at 352+.
+        rng = np.random.default_rng(2)
+        seq = random_sequence(MAX_QUERY_BASES, rng)
+        rec = unpack_query(pack_query(seq, query_id=(1 << 32) - 1, flags=255))
+        assert rec.sequence == seq
+        assert rec.query_id == (1 << 32) - 1
+        assert rec.flags == 255
+
+    def test_unpack_rejects_wrong_size(self):
+        with pytest.raises(ValueError, match="8 words"):
+            unpack_query(np.zeros(4, dtype=np.uint64))
+
+    def test_unpack_rejects_corrupt_length(self):
+        words = pack_query("ACGT", 0)
+        # Overwrite the length field (bits 352-359 -> word 5 bits 32-39).
+        words[5] |= np.uint64(255) << np.uint64(32)
+        with pytest.raises(ValueError, match="corrupt"):
+            unpack_query(words)
+
+
+class TestPackQueries:
+    def test_batch_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        seqs = [random_sequence(int(rng.integers(1, 177)), rng) for _ in range(50)]
+        batch = pack_queries(seqs, start_id=100)
+        for i, seq in enumerate(seqs):
+            scalar = pack_query(seq, query_id=100 + i)
+            assert np.array_equal(batch[i], scalar), i
+
+    def test_batch_roundtrip(self):
+        rng = np.random.default_rng(4)
+        seqs = [random_sequence(60, rng) for _ in range(10)]
+        recs = unpack_queries(pack_queries(seqs))
+        assert [r.sequence for r in recs] == seqs
+        assert [r.query_id for r in recs] == list(range(10))
+
+    def test_batch_too_long_rejected(self):
+        rng = np.random.default_rng(5)
+        seqs = ["ACGT", random_sequence(200, rng)]
+        with pytest.raises(QueryTooLongError):
+            pack_queries(seqs)
+
+    def test_empty_batch(self):
+        batch = pack_queries([])
+        assert batch.shape == (0, QUERY_WORDS)
+        assert unpack_queries(batch) == []
+
+    def test_unpack_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match=r"\(n, 8\)"):
+            unpack_queries(np.zeros((2, 4), dtype=np.uint64))

@@ -1,0 +1,142 @@
+"""Unit tests for the vectorized Smith-Waterman aligner."""
+
+import numpy as np
+import pytest
+
+from repro.mapper.smith_waterman import (
+    Alignment,
+    ScoringScheme,
+    smith_waterman,
+    sw_score_matrix,
+    sw_score_only,
+)
+
+
+def sw_reference(q, t, scoring):
+    """Textbook cell-by-cell DP, the oracle."""
+    m, n = len(q), len(t)
+    H = np.zeros((m + 1, n + 1), dtype=np.int64)
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            sub = scoring.match if q[i - 1] == t[j - 1] else scoring.mismatch
+            H[i, j] = max(
+                0,
+                H[i - 1, j - 1] + sub,
+                H[i - 1, j] + scoring.gap,
+                H[i, j - 1] + scoring.gap,
+            )
+    return H
+
+
+class TestScoringScheme:
+    def test_rejects_nonpositive_match(self):
+        with pytest.raises(ValueError):
+            ScoringScheme(match=0)
+
+    def test_rejects_positive_penalties(self):
+        with pytest.raises(ValueError):
+            ScoringScheme(mismatch=1)
+        with pytest.raises(ValueError):
+            ScoringScheme(gap=0)
+
+
+class TestScoreMatrix:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_reference_dp(self, seed):
+        rng = np.random.default_rng(seed)
+        q = "".join("ACGT"[c] for c in rng.integers(0, 4, 25))
+        t = "".join("ACGT"[c] for c in rng.integers(0, 4, 40))
+        scoring = ScoringScheme()
+        fast = sw_score_matrix(q, t, scoring)
+        slow = sw_reference(q, t, scoring)
+        assert np.array_equal(fast, slow)
+
+    def test_alternative_scoring(self):
+        rng = np.random.default_rng(99)
+        q = "".join("ACGT"[c] for c in rng.integers(0, 4, 20))
+        t = "".join("ACGT"[c] for c in rng.integers(0, 4, 30))
+        scoring = ScoringScheme(match=1, mismatch=-1, gap=-2)
+        assert np.array_equal(
+            sw_score_matrix(q, t, scoring), sw_reference(q, t, scoring)
+        )
+
+    def test_empty_inputs(self):
+        assert sw_score_matrix("", "ACGT").max() == 0
+        assert sw_score_matrix("ACGT", "").max() == 0
+
+
+class TestAlignment:
+    def test_perfect_match(self):
+        aln = smith_waterman("ACGTACGT", "TTACGTACGTTT")
+        assert aln.score == 16
+        assert aln.cigar == "8M"
+        assert aln.target_start == 2
+        assert aln.target_end == 10
+        assert aln.query_span == 8
+
+    def test_with_mismatch(self):
+        aln = smith_waterman("ACGTACGT", "ACGAACGT")
+        assert aln.score == 2 * 7 - 3
+        assert aln.cigar == "8M"
+
+    def test_with_gap(self):
+        # Query has an extra base relative to target.
+        aln = smith_waterman("AACCGGTTAA", "AACCGGTT")
+        assert aln.score >= 16
+        assert "M" in aln.cigar
+
+    def test_insertion_cigar(self):
+        q = "ACGTTTACGT"
+        t = "ACGTACGT"  # query has TT inserted
+        aln = smith_waterman(q, t, ScoringScheme(match=3, mismatch=-4, gap=-2))
+        assert "I" in aln.cigar
+
+    def test_deletion_cigar(self):
+        q = "ACGTACGT"
+        t = "ACGTTTACGT"
+        aln = smith_waterman(q, t, ScoringScheme(match=3, mismatch=-4, gap=-2))
+        assert "D" in aln.cigar
+
+    def test_no_alignment(self):
+        aln = smith_waterman("AAAA", "TTTT", ScoringScheme(match=1, mismatch=-3, gap=-3))
+        assert aln.score == 0
+        assert aln.cigar == ""
+
+    def test_local_not_global(self):
+        # Local alignment picks the best island, ignoring bad flanks.
+        aln = smith_waterman("TTTTACGTACGTTTTT", "CCCCACGTACGTCCCC")
+        assert aln.score == 16  # the 8-base core
+        assert aln.cigar == "8M"
+
+    def test_traceback_consistent_with_score(self):
+        rng = np.random.default_rng(5)
+        scoring = ScoringScheme()
+        for _ in range(10):
+            q = "".join("ACGT"[c] for c in rng.integers(0, 4, 20))
+            t = "".join("ACGT"[c] for c in rng.integers(0, 4, 30))
+            aln = smith_waterman(q, t, scoring)
+            # Recompute the score from the CIGAR over the aligned slices.
+            score = 0
+            qi, ti = aln.query_start, aln.target_start
+            import re
+
+            for n, op in re.findall(r"(\d+)([MID])", aln.cigar):
+                n = int(n)
+                if op == "M":
+                    for _ in range(n):
+                        score += scoring.match if q[qi] == t[ti] else scoring.mismatch
+                        qi += 1
+                        ti += 1
+                elif op == "I":
+                    score += scoring.gap * n
+                    qi += n
+                else:
+                    score += scoring.gap * n
+                    ti += n
+            assert score == aln.score
+
+    def test_score_only_matches(self):
+        rng = np.random.default_rng(6)
+        q = "".join("ACGT"[c] for c in rng.integers(0, 4, 15))
+        t = "".join("ACGT"[c] for c in rng.integers(0, 4, 25))
+        assert sw_score_only(q, t) == smith_waterman(q, t).score

@@ -1,0 +1,100 @@
+"""Unit tests for streaming (constant-memory) mapping."""
+
+import io
+
+import pytest
+
+from repro.mapper.stream import map_fastq_to_tsv, map_stream
+
+
+class TestMapStream:
+    def test_batches_cover_all_reads(self, small_index, small_text):
+        reads = [small_text[i : i + 30] for i in range(0, 500, 23)]
+        batches = list(map_stream(small_index, iter(reads), batch_size=5))
+        assert sum(len(b) for b in batches) == len(reads)
+        assert len(batches) == (len(reads) + 4) // 5
+
+    def test_results_match_nonstreaming(self, small_index, small_text):
+        from repro.mapper.mapper import Mapper
+
+        reads = [small_text[i : i + 25] for i in range(0, 300, 31)] + ["ACGT" * 8]
+        streamed = [
+            r for batch in map_stream(small_index, iter(reads), batch_size=3)
+            for r in batch
+        ]
+        direct = Mapper(small_index, locate=False).map_reads(reads)
+        for s, d in zip(streamed, direct):
+            assert s.forward.interval == d.forward.interval
+            assert s.reverse.interval == d.reverse.interval
+
+    def test_read_ids_globally_numbered(self, small_index, small_text):
+        reads = [small_text[i : i + 20] for i in range(10)]
+        streamed = [
+            r for batch in map_stream(small_index, iter(reads), batch_size=4)
+            for r in batch
+        ]
+        assert [r.read_id for r in streamed] == list(range(10))
+        assert streamed[7].read_name == "read7"
+
+    def test_generator_input_lazy(self, small_index, small_text):
+        consumed = []
+
+        def gen():
+            for i in range(9):
+                consumed.append(i)
+                yield small_text[i : i + 20]
+
+        stream = map_stream(small_index, gen(), batch_size=3)
+        next(stream)
+        # Only the first batch (plus one lookahead element) was pulled.
+        assert len(consumed) <= 4
+
+    def test_on_batch_callback(self, small_index, small_text):
+        seen = []
+        reads = [small_text[:20]] * 7
+        list(
+            map_stream(
+                small_index, iter(reads), batch_size=3, on_batch=lambda b: seen.append(len(b))
+            )
+        )
+        assert seen == [3, 3, 1]
+
+    def test_rejects_bad_batch_size(self, small_index):
+        with pytest.raises(ValueError):
+            list(map_stream(small_index, iter([]), batch_size=0))
+
+    def test_empty_input(self, small_index):
+        assert list(map_stream(small_index, iter([]))) == []
+
+
+class TestMapFastqToTsv:
+    def test_writes_all_rows(self, small_index, small_text):
+        reads = [small_text[i : i + 30] for i in range(0, 200, 17)] + ["ACGT" * 9]
+        buf = io.StringIO()
+        summary = map_fastq_to_tsv(small_index, iter(reads), buf, batch_size=4)
+        lines = buf.getvalue().splitlines()
+        assert lines[0].startswith("read\t")
+        assert len(lines) == len(reads) + 1
+        assert summary.n_reads == len(reads)
+        assert summary.n_mapped == len(reads) - 1
+        assert summary.mapping_ratio == pytest.approx((len(reads) - 1) / len(reads))
+        assert summary.n_batches == (len(reads) + 3) // 4
+        assert summary.wall_seconds > 0
+        assert summary.op_counts["bs_steps"] > 0
+
+    def test_positions_written_when_locating(self, small_index, small_text):
+        buf = io.StringIO()
+        map_fastq_to_tsv(small_index, iter([small_text[40:70]]), buf, locate=True)
+        row = buf.getvalue().splitlines()[1].split("\t")
+        assert "40" in row[4].split(",")
+
+    def test_no_positions_without_locate(self, small_index, small_text):
+        buf = io.StringIO()
+        map_fastq_to_tsv(small_index, iter([small_text[40:70]]), buf, locate=False)
+        row = buf.getvalue().splitlines()[1].split("\t")
+        assert row[4] == "."
+
+    def test_reads_per_second(self, small_index, small_text):
+        buf = io.StringIO()
+        summary = map_fastq_to_tsv(small_index, iter([small_text[:30]] * 5), buf)
+        assert summary.reads_per_second > 0

@@ -1,0 +1,115 @@
+"""Unit tests for DNA alphabet handling."""
+
+import numpy as np
+import pytest
+
+from repro.sequence.alphabet import (
+    AlphabetError,
+    decode,
+    encode,
+    gc_fraction,
+    is_valid,
+    random_sequence,
+    reverse_complement,
+    reverse_complement_codes,
+)
+
+
+class TestEncodeDecode:
+    def test_codes_are_lexicographic(self):
+        assert encode("ACGT").tolist() == [0, 1, 2, 3]
+
+    def test_case_insensitive(self):
+        assert np.array_equal(encode("acgt"), encode("ACGT"))
+
+    def test_u_maps_to_t(self):
+        assert np.array_equal(encode("U"), encode("T"))
+        assert np.array_equal(encode("u"), encode("t"))
+
+    def test_roundtrip(self):
+        s = "GATTACAGATTACA"
+        assert decode(encode(s)) == s
+
+    def test_decode_uppercases(self):
+        assert decode(encode("acgt")) == "ACGT"
+
+    def test_empty(self):
+        assert encode("").size == 0
+        assert decode(np.zeros(0, dtype=np.uint8)) == ""
+
+    def test_invalid_char_reports_position(self):
+        with pytest.raises(AlphabetError, match="position 3"):
+            encode("ACGNACGT")
+
+    def test_n_is_rejected(self):
+        with pytest.raises(AlphabetError):
+            encode("N")
+
+    def test_decode_rejects_bad_codes(self):
+        with pytest.raises(AlphabetError):
+            decode(np.array([4], dtype=np.int64))
+
+    def test_bytes_input(self):
+        assert np.array_equal(encode(b"ACGT"), encode("ACGT"))
+
+
+class TestReverseComplement:
+    def test_known_value(self):
+        assert reverse_complement("ACGT") == "ACGT"  # palindrome
+        assert reverse_complement("AAAA") == "TTTT"
+        assert reverse_complement("GATTACA") == "TGTAATC"
+
+    def test_involution(self):
+        rng = np.random.default_rng(0)
+        s = random_sequence(100, rng)
+        assert reverse_complement(reverse_complement(s)) == s
+
+    def test_invalid_raises(self):
+        with pytest.raises(AlphabetError):
+            reverse_complement("ACNX")
+
+    def test_codes_version_matches(self):
+        s = "ACGGTTAC"
+        assert decode(reverse_complement_codes(encode(s))) == reverse_complement(s)
+
+    def test_empty(self):
+        assert reverse_complement("") == ""
+
+
+class TestValidation:
+    def test_is_valid(self):
+        assert is_valid("ACGTU")
+        assert is_valid("acgt")
+        assert not is_valid("ACGN")
+        assert not is_valid("hello")
+
+
+class TestRandomSequence:
+    def test_length_and_alphabet(self):
+        rng = np.random.default_rng(1)
+        s = random_sequence(500, rng)
+        assert len(s) == 500
+        assert set(s) <= set("ACGT")
+
+    def test_gc_content_respected(self):
+        rng = np.random.default_rng(2)
+        s = random_sequence(50_000, rng, gc_content=0.7)
+        assert abs(gc_fraction(s) - 0.7) < 0.02
+
+    def test_gc_bounds(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            random_sequence(10, rng, gc_content=1.5)
+
+    def test_deterministic_per_seed(self):
+        a = random_sequence(50, np.random.default_rng(9))
+        b = random_sequence(50, np.random.default_rng(9))
+        assert a == b
+
+
+class TestGCFraction:
+    def test_known_values(self):
+        assert gc_fraction("GGCC") == 1.0
+        assert gc_fraction("AATT") == 0.0
+        assert gc_fraction("ACGT") == 0.5
+        assert gc_fraction("") == 0.0

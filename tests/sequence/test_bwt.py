@@ -1,0 +1,129 @@
+"""Unit tests for the Burrows-Wheeler transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequence.alphabet import decode, encode
+from repro.sequence.bwt import (
+    bwt_from_codes,
+    bwt_from_string,
+    count_array,
+    entropy0,
+    inverse_bwt,
+    run_length_stats,
+)
+from repro.sequence.suffix_array import suffix_array
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=100)
+
+
+def bwt_bruteforce(text: str) -> str:
+    """Sort all rotations of text+'$' and read the last column."""
+    t = text + "$"
+    rotations = sorted(t[i:] + t[:i] for i in range(len(t)))
+    return "".join(r[-1] for r in rotations)
+
+
+class TestConstruction:
+    def test_matches_rotation_bruteforce(self):
+        for text in ["GATTACA", "AAAA", "ACGTACGT", "T"]:
+            assert bwt_from_string(text).char_string() == bwt_bruteforce(text)
+
+    @given(text=dna)
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_bruteforce(self, text):
+        assert bwt_from_string(text).char_string() == bwt_bruteforce(text)
+
+    def test_dollar_pos_consistent(self):
+        bwt = bwt_from_string("GATTACA")
+        assert bwt.char_string()[bwt.dollar_pos] == "$"
+
+    def test_empty_text(self):
+        bwt = bwt_from_codes(np.zeros(0, dtype=np.uint8))
+        assert bwt.length == 1
+        assert bwt.dollar_pos == 0
+
+    def test_rejects_mismatched_sa(self):
+        codes = encode("ACGT")
+        with pytest.raises(ValueError, match="length"):
+            bwt_from_codes(codes, sa=np.arange(3))
+
+    def test_rejects_sa_without_zero(self):
+        codes = encode("ACGT")
+        bad = np.array([4, 1, 2, 3, 4])
+        with pytest.raises(ValueError, match="exactly once"):
+            bwt_from_codes(codes, sa=bad)
+
+    def test_accepts_precomputed_sa(self):
+        codes = encode("GATTACA")
+        sa = suffix_array(codes)
+        a = bwt_from_codes(codes, sa=sa)
+        b = bwt_from_codes(codes)
+        assert a.char_string() == b.char_string()
+
+    def test_symbols_without_sentinel_is_permutation_of_text(self):
+        text = "ACGGTTACG"
+        bwt = bwt_from_string(text)
+        assert sorted(decode(bwt.symbols_without_sentinel())) == sorted(text)
+
+
+class TestInverse:
+    @given(text=dna)
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, text):
+        assert decode(inverse_bwt(bwt_from_string(text))) == text
+
+    def test_roundtrip_repetitive(self):
+        text = "ACGT" * 30 + "TTTT" * 10
+        assert decode(inverse_bwt(bwt_from_string(text))) == text
+
+    def test_empty(self):
+        assert inverse_bwt(bwt_from_codes(np.zeros(0, dtype=np.uint8))).size == 0
+
+
+class TestStats:
+    def test_run_stats_repetitive_text(self):
+        # Highly repetitive text -> few, long BWT runs.
+        rep = bwt_from_string("ACGT" * 60)
+        rnd_rng = np.random.default_rng(0)
+        rnd = bwt_from_string(decode(rnd_rng.integers(0, 4, 240).astype(np.uint8)))
+        s_rep = run_length_stats(rep)
+        s_rnd = run_length_stats(rnd)
+        assert s_rep["runs"] < s_rnd["runs"]
+        assert s_rep["mean_run"] > s_rnd["mean_run"]
+
+    def test_run_stats_empty(self):
+        stats = run_length_stats(bwt_from_codes(np.zeros(0, dtype=np.uint8)))
+        assert stats["runs"] == 0
+
+    def test_entropy_bounds(self):
+        assert entropy0(np.zeros(10, dtype=np.int64)) == 0.0
+        balanced = np.tile(np.arange(4), 25)
+        assert entropy0(balanced) == pytest.approx(2.0)
+        assert entropy0(np.zeros(0, dtype=np.int64)) == 0.0
+
+    def test_bwt_lowers_entropy_of_repetitive_text(self):
+        text = "GATTACA" * 40
+        bwt = bwt_from_string(text)
+        sym = bwt.symbols_without_sentinel()
+        # Entropy of symbols is invariant (permutation), but run structure
+        # is what matters; check runs shrink dramatically.
+        stats = run_length_stats(bwt)
+        assert stats["mean_run"] > 3.0
+
+
+class TestCountArray:
+    def test_values(self):
+        c = count_array(encode("AACCGGTT"))
+        # $ < A(2) < C(2) < G(2) < T(2)
+        assert c.tolist() == [1, 3, 5, 7, 9]
+
+    def test_missing_symbols(self):
+        c = count_array(encode("AAA"))
+        assert c.tolist() == [1, 4, 4, 4, 4]
+
+    def test_empty(self):
+        c = count_array(np.zeros(0, dtype=np.uint8))
+        assert c.tolist() == [1, 1, 1, 1, 1]

@@ -1,0 +1,182 @@
+"""Unit tests for the command-line interface."""
+
+import gzip
+
+import pytest
+
+from repro.cli import main
+from repro.io.fasta import FastaRecord, write_fasta
+from repro.io.fastq import FastqRecord, write_fastq
+
+
+@pytest.fixture()
+def workspace(tmp_path):
+    """A reference FASTA + matching FASTQ on disk."""
+    import numpy as np
+
+    rng = np.random.default_rng(101)
+    ref = "".join("ACGT"[c] for c in rng.integers(0, 4, 3000))
+    fasta = tmp_path / "ref.fa"
+    write_fasta([FastaRecord("ref1", "test", ref)], fasta)
+    reads = [ref[i : i + 50] for i in range(0, 1000, 100)] + ["ACGT" * 12]
+    fastq = tmp_path / "reads.fq"
+    write_fastq(
+        [FastqRecord(f"r{i}", s, "I" * len(s)) for i, s in enumerate(reads)], fastq
+    )
+    return tmp_path, ref, fasta, fastq, reads
+
+
+class TestIndexCommand:
+    def test_builds_and_reports(self, workspace, capsys):
+        tmp, ref, fasta, fastq, reads = workspace
+        out = tmp / "ref.npz"
+        assert main(["index", str(fasta), "-o", str(out), "-s", "8"]) == 0
+        assert out.exists()
+        captured = capsys.readouterr().out
+        assert "3,000 bp" in captured
+        assert "structure" in captured
+
+    def test_gzip_input(self, workspace, tmp_path):
+        tmp, ref, fasta, _, _ = workspace
+        gz = tmp_path / "ref.fa.gz"
+        gz.write_bytes(gzip.compress(fasta.read_bytes()))
+        out = tmp_path / "ref.npz"
+        assert main(["index", str(gz), "-o", str(out)]) == 0
+
+    def test_multirecord_builds_multiref(self, tmp_path, capsys):
+        fasta = tmp_path / "multi.fa"
+        write_fasta(
+            [FastaRecord("a", "", "ACGTACGT" * 10), FastaRecord("b", "", "GGTTCCAA" * 10)],
+            fasta,
+        )
+        out = tmp_path / "x.npz"
+        rc = main(["index", str(fasta), "-o", str(out), "-s", "4"])
+        assert rc == 0
+        assert "multi-sequence reference: 2 records" in capsys.readouterr().out
+        from repro.index.serialization import load_multiref_index
+
+        loaded = load_multiref_index(out)
+        assert loaded.names == ("a", "b")
+
+    def test_empty_fasta_rejected(self, tmp_path, capsys):
+        fasta = tmp_path / "empty.fa"
+        fasta.write_text(">only_header\n")
+        rc = main(["index", str(fasta), "-o", str(tmp_path / "x.npz")])
+        assert rc == 2
+        assert "empty sequence" in capsys.readouterr().err
+
+    def test_occ_backend(self, workspace):
+        tmp, _, fasta, _, _ = workspace
+        out = tmp / "occ.npz"
+        assert main(["index", str(fasta), "-o", str(out), "--backend", "occ"]) == 0
+
+
+class TestMapCommand:
+    def test_cpu_mapping(self, workspace, capsys):
+        tmp, ref, fasta, fastq, reads = workspace
+        idx = tmp / "ref.npz"
+        main(["index", str(fasta), "-o", str(idx), "-s", "8"])
+        out = tmp / "hits.tsv"
+        assert main(["map", str(idx), str(fastq), "-o", str(out)]) == 0
+        lines = out.read_text().splitlines()
+        assert len(lines) == len(reads) + 1
+        assert f"mapped {len(reads) - 1}/{len(reads)}" in capsys.readouterr().out
+
+    def test_sam_output(self, workspace):
+        tmp, ref, fasta, fastq, reads = workspace
+        idx = tmp / "ref.npz"
+        main(["index", str(fasta), "-o", str(idx), "-s", "8"])
+        out = tmp / "hits.sam"
+        assert main(
+            [
+                "map", str(idx), str(fastq), "-o", str(out),
+                "--format", "sam", "--reference-name", "ref1",
+            ]
+        ) == 0
+        lines = out.read_text().splitlines()
+        assert lines[0].startswith("@HD")
+        assert any(l.startswith("@SQ\tSN:ref1\tLN:3000") for l in lines)
+        body = [l for l in lines if not l.startswith("@")]
+        assert len(body) == len(reads)  # unique hits + one unmapped line
+        assert any("\t4\t*" in l for l in body)  # the unmapped read
+
+    def test_fpga_mapping(self, workspace, capsys):
+        tmp, ref, fasta, fastq, reads = workspace
+        idx = tmp / "ref.npz"
+        main(["index", str(fasta), "-o", str(idx), "-s", "8"])
+        out = tmp / "hits_fpga.tsv"
+        assert main(["map", str(idx), str(fastq), "-o", str(out), "--device", "fpga"]) == 0
+        captured = capsys.readouterr().out
+        assert "simulated FPGA" in captured
+        assert "modeled" in captured
+        assert out.exists()
+
+
+class TestInspectCommand:
+    def test_prints_and_validates(self, workspace, capsys):
+        tmp, _, fasta, _, _ = workspace
+        idx = tmp / "ref.npz"
+        main(["index", str(fasta), "-o", str(idx), "-s", "8"])
+        assert main(["inspect", str(idx), "--validate"]) == 0
+        captured = capsys.readouterr().out
+        assert "b=15, sf=8" in captured
+        assert "validation: OK" in captured
+
+
+class TestSimulateCommand:
+    def test_reference_and_reads(self, tmp_path, capsys):
+        ref_out = tmp_path / "sim.fa"
+        reads_out = tmp_path / "sim.fq.gz"
+        rc = main(
+            [
+                "simulate",
+                "--reference-out", str(ref_out),
+                "--reads-out", str(reads_out),
+                "--scale", "0.002",
+                "--n-reads", "40",
+                "--read-length", "60",
+                "--mapping-ratio", "0.5",
+            ]
+        )
+        assert rc == 0
+        assert ref_out.exists() and reads_out.exists()
+        from repro.io.fastq import read_fastq
+
+        recs = read_fastq(reads_out)  # gz detected by magic
+        assert len(recs) == 40
+        assert all(r.length == 60 for r in recs)
+
+    def test_reads_from_existing_reference(self, workspace, tmp_path):
+        _, _, fasta, _, _ = workspace
+        reads_out = tmp_path / "more.fq"
+        rc = main(
+            [
+                "simulate",
+                "--reference-in", str(fasta),
+                "--reads-out", str(reads_out),
+                "--n-reads", "10",
+                "--read-length", "30",
+            ]
+        )
+        assert rc == 0
+        assert reads_out.exists()
+
+    def test_missing_reference_errors(self, tmp_path, capsys):
+        rc = main(["simulate", "--reads-out", str(tmp_path / "x.fq")])
+        assert rc == 2
+        assert "reference" in capsys.readouterr().err
+
+
+class TestEndToEndCli:
+    def test_simulate_index_map_pipeline(self, tmp_path, capsys):
+        ref = tmp_path / "r.fa"
+        reads = tmp_path / "r.fq"
+        idx = tmp_path / "r.npz"
+        hits = tmp_path / "r.tsv"
+        assert main(["simulate", "--reference-out", str(ref), "--reads-out", str(reads),
+                     "--scale", "0.001", "--n-reads", "30", "--read-length", "40",
+                     "--mapping-ratio", "0.8"]) == 0
+        assert main(["index", str(ref), "-o", str(idx), "-s", "8"]) == 0
+        assert main(["map", str(idx), str(reads), "-o", str(hits)]) == 0
+        out = capsys.readouterr().out
+        assert "mapped 24/30" in out

@@ -1,0 +1,130 @@
+"""Cross-module property-based tests: the whole pipeline as one invariant.
+
+These hypothesis tests treat the entire system as a black box and pin it
+against Python's own string machinery: for *any* DNA text and *any*
+pattern, counting/locating through suffix array → BWT → wavelet-of-RRR →
+backward search must agree with regex scanning, on both strands, on both
+backends, and through the simulated FPGA kernel.
+"""
+
+import re
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import build_index
+from repro.fpga.kernel import BackwardSearchKernel
+from repro.mapper.query import pack_queries
+from repro.sequence.alphabet import reverse_complement
+
+dna_text = st.text(alphabet="ACGT", min_size=4, max_size=200)
+small_params = st.tuples(st.integers(2, 15), st.integers(1, 6))
+
+
+def regex_count(text: str, pattern: str) -> int:
+    if not pattern:
+        return len(text) + 1
+    return len(re.findall(f"(?={re.escape(pattern)})", text))
+
+
+@given(text=dna_text, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_count_matches_regex_any_text(text, data):
+    b, sf = data.draw(small_params)
+    index, _ = build_index(text, b=b, sf=sf, locate="none")
+    # Patterns: substrings of the text, mutations, and random strings.
+    start = data.draw(st.integers(0, len(text) - 1))
+    length = data.draw(st.integers(1, min(20, len(text) - start)))
+    substr = text[start : start + length]
+    random_pat = data.draw(st.text(alphabet="ACGT", min_size=1, max_size=8))
+    for pat in (substr, random_pat):
+        assert index.count(pat) == regex_count(text, pat)
+
+
+@given(text=dna_text, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_locate_matches_regex_any_text(text, data):
+    index, _ = build_index(text, b=8, sf=3)
+    start = data.draw(st.integers(0, len(text) - 1))
+    length = data.draw(st.integers(1, min(15, len(text) - start)))
+    pat = text[start : start + length]
+    expected = [m.start() for m in re.finditer(f"(?={re.escape(pat)})", text)]
+    assert index.locate(pat).tolist() == expected
+
+
+@given(text=dna_text)
+@settings(max_examples=30, deadline=None)
+def test_backends_agree_any_text(text):
+    rrr, _ = build_index(text, b=8, sf=3, locate="none")
+    occ, _ = build_index(text, backend="occ", locate="none")
+    for pat in [text[: min(6, len(text))], "ACG", "T", "GGTTAA"]:
+        a = rrr.search(pat)
+        b = occ.search(pat)
+        assert (a.start, a.end) == (b.start, b.end), pat
+
+
+@given(text=dna_text, data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_fpga_kernel_equals_mapper_any_text(text, data):
+    from repro.mapper.mapper import Mapper
+
+    index, _ = build_index(text, b=8, sf=3, locate="none")
+    kernel = BackwardSearchKernel(index.backend)
+    n_reads = data.draw(st.integers(1, 4))
+    reads = []
+    for _ in range(n_reads):
+        s = data.draw(st.integers(0, len(text) - 1))
+        ln = data.draw(st.integers(1, min(30, len(text) - s)))
+        reads.append(text[s : s + ln])
+    run = kernel.execute(pack_queries(reads))
+    sw = Mapper(index, locate=False).map_reads(reads)
+    for o, m in zip(run.outcomes, sw):
+        assert (o.fwd_start, o.fwd_end) == (m.forward.interval.start, m.forward.interval.end)
+        assert (o.rc_start, o.rc_end) == (m.reverse.interval.start, m.reverse.interval.end)
+
+
+@given(text=dna_text)
+@settings(max_examples=30, deadline=None)
+def test_strand_symmetry_any_text(text):
+    """count(P on T) == count(revcomp(P) on revcomp(T)) — the biological
+    double-strand symmetry the both-strand mapper relies on."""
+    index_fwd, _ = build_index(text, b=8, sf=3, locate="none")
+    index_rc, _ = build_index(reverse_complement(text), b=8, sf=3, locate="none")
+    pat = text[: min(8, len(text))]
+    assert index_fwd.count(pat) == index_rc.count(reverse_complement(pat))
+
+
+@given(text=dna_text)
+@settings(max_examples=20, deadline=None)
+def test_extract_roundtrip_any_text(text):
+    from repro.index.extract import TextExtractor
+
+    index, _ = build_index(text, b=8, sf=3)
+    ex = TextExtractor(index.backend, index.locate_structure.sa, sample_rate=7)
+    assert ex.full_text() == text
+
+
+@given(text=dna_text, data=st.data())
+@settings(max_examples=20, deadline=None)
+def test_mismatch_search_matches_hamming_any_text(text, data):
+    from repro.baseline.naive import find_with_mismatches
+    from repro.mapper.mismatch import locate_with_mismatches
+
+    index, _ = build_index(text, b=8, sf=3)
+    start = data.draw(st.integers(0, max(0, len(text) - 6)))
+    pat = text[start : start + 6]
+    if len(pat) < 6:
+        return
+    k = data.draw(st.integers(0, 2))
+    assert locate_with_mismatches(index, pat, k) == find_with_mismatches(text, pat, k)
+
+
+@given(text=dna_text)
+@settings(max_examples=20, deadline=None)
+def test_validation_passes_any_text(text):
+    from repro.index.validate import validate_index
+
+    index, _ = build_index(text, b=8, sf=3)
+    validate_index(index, samples=16)

@@ -1,0 +1,57 @@
+"""Tests for asynchronous (background-thread) job execution."""
+
+import time
+
+import pytest
+
+from repro.web.jobs import JobManager, JobStatus
+
+REF = ">bg demo\n" + "ACGTAGGCTTAACGTCCATGAG" * 40 + "\n"
+FQ = "@r1\nACGTAGGCTTAACGTCCATGAG\n+\nIIIIIIIIIIIIIIIIIIIIII\n"
+
+
+def wait_for(job, timeout=30.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if job.status in (JobStatus.DONE, JobStatus.ERROR):
+            return job
+        time.sleep(0.02)
+    raise TimeoutError(f"job stuck in {job.status}")
+
+
+class TestBackgroundJobs:
+    def test_background_job_completes(self):
+        mgr = JobManager()
+        job = mgr.submit(reference_fasta=REF, reads_fastq=FQ, sf=4, background=True)
+        wait_for(job)
+        assert job.status == JobStatus.DONE
+        assert job.n_mapped == 1
+        assert job.results_tsv.startswith("read\t")
+
+    def test_background_failure_captured(self):
+        mgr = JobManager()
+        job = mgr.submit(reference_fasta="garbage", reads_fastq=FQ, background=True)
+        wait_for(job)
+        assert job.status == JobStatus.ERROR
+        assert job.error
+
+    def test_concurrent_jobs_isolated(self):
+        mgr = JobManager()
+        jobs = [
+            mgr.submit(reference_fasta=REF, reads_fastq=FQ, sf=4, background=True)
+            for _ in range(3)
+        ]
+        for job in jobs:
+            wait_for(job)
+            assert job.status == JobStatus.DONE
+        assert len({j.job_id for j in jobs}) == 3
+        assert [j.job_id for j in mgr.all_jobs()] == sorted(j.job_id for j in jobs)
+
+    def test_status_visible_while_queued_or_running(self):
+        mgr = JobManager()
+        job = mgr.submit(reference_fasta=REF, reads_fastq=FQ, sf=4, background=True)
+        # Whatever phase we catch it in, the summary must be serializable.
+        summary = job.summary()
+        assert summary["job_id"] == job.job_id
+        assert summary["status"] in {"queued", "running", "done", "error"}
+        wait_for(job)

@@ -1,0 +1,247 @@
+"""Unit tests for the WSGI web workflow."""
+
+import base64
+import gzip
+import io
+import json
+
+import pytest
+
+from repro.web.jobs import JobManager, JobStatus
+from repro.web.server import BWaveRApp, parse_multipart
+
+REF = ">ref demo\n" + "ACGTAGGCTTAACGTCCATGAG" * 30 + "\n"
+FQ = (
+    "@r1\nACGTAGGCTTAACGTCCATGAG\n+\nIIIIIIIIIIIIIIIIIIIIII\n"
+    "@r2\nAAAAAAAACCCCCCCCGGGGGGGG\n+\nIIIIIIIIIIIIIIIIIIIIIIII\n"
+)
+
+
+@pytest.fixture()
+def app():
+    return BWaveRApp()
+
+
+def call(app, method, path, body=b"", ctype=""):
+    captured = {}
+
+    def start_response(status, headers):
+        captured["status"] = status
+        captured["headers"] = dict(headers)
+
+    env = {
+        "REQUEST_METHOD": method,
+        "PATH_INFO": path,
+        "CONTENT_LENGTH": str(len(body)),
+        "CONTENT_TYPE": ctype,
+        "wsgi.input": io.BytesIO(body),
+    }
+    payload = b"".join(app(env, start_response))
+    return captured["status"], captured["headers"], payload
+
+
+def submit_json(app, **overrides):
+    doc = {"reference_fasta": REF, "reads_fastq": FQ, "sf": 4}
+    doc.update(overrides)
+    return call(app, "POST", "/jobs", json.dumps(doc).encode(), "application/json")
+
+
+class TestRoutes:
+    def test_index_page(self, app):
+        status, headers, body = call(app, "GET", "/")
+        assert status.startswith("200")
+        assert b"BWaveR" in body
+        assert "text/html" in headers["Content-Type"]
+
+    def test_health(self, app):
+        status, _, body = call(app, "GET", "/health")
+        assert status.startswith("200")
+        assert json.loads(body)["status"] == "ok"
+
+    def test_unknown_route_404(self, app):
+        status, _, _ = call(app, "GET", "/nope")
+        assert status.startswith("404")
+
+    def test_job_not_found(self, app):
+        status, _, _ = call(app, "GET", "/jobs/99")
+        assert status.startswith("404")
+
+
+class TestSubmission:
+    def test_json_submit_full_pipeline(self, app):
+        status, _, body = submit_json(app)
+        assert status.startswith("201")
+        doc = json.loads(body)
+        assert doc["status"] == "done"
+        assert doc["n_reads"] == 2
+        assert doc["n_mapped"] == 1
+        assert set(doc["stage_seconds"]) == {
+            "bwt_sa_computation",
+            "bwt_encoding",
+            "sequence_mapping",
+        }
+
+    def test_fpga_device_reports_modeled_time(self, app):
+        status, _, body = submit_json(app, device="fpga")
+        doc = json.loads(body)
+        assert doc["modeled_device_seconds"] > 0
+
+    def test_cpu_device(self, app):
+        status, _, body = submit_json(app, device="cpu")
+        doc = json.loads(body)
+        assert doc["status"] == "done"
+        assert doc["modeled_device_seconds"] is None
+
+    def test_gzipped_upload(self, app):
+        ref_gz = base64.b64encode(gzip.compress(REF.encode())).decode()
+        fq_gz = base64.b64encode(gzip.compress(FQ.encode())).decode()
+        body = json.dumps(
+            {"reference_fasta_gzip_b64": ref_gz, "reads_fastq_gzip_b64": fq_gz, "sf": 4}
+        ).encode()
+        status, _, resp = call(app, "POST", "/jobs", body, "application/json")
+        assert status.startswith("201")
+        assert json.loads(resp)["status"] == "done"
+
+    def test_corrupt_gzip_400(self, app):
+        body = json.dumps(
+            {"reference_fasta_gzip_b64": "not-gzip", "reads_fastq": FQ}
+        ).encode()
+        status, _, resp = call(app, "POST", "/jobs", body, "application/json")
+        assert status.startswith("400")
+        assert "gzip" in json.loads(resp)["error"]
+
+    def test_missing_fields_400(self, app):
+        status, _, resp = call(app, "POST", "/jobs", b"{}", "application/json")
+        assert status.startswith("400")
+        assert "reference_fasta" in json.loads(resp)["error"]
+
+    def test_invalid_json_400(self, app):
+        status, _, _ = call(app, "POST", "/jobs", b"{bad", "application/json")
+        assert status.startswith("400")
+
+    def test_bad_device_400(self, app):
+        status, _, resp = submit_json(app, device="tpu")
+        assert status.startswith("400")
+
+    def test_bad_params_400(self, app):
+        status, _, _ = submit_json(app, b="huge")
+        assert status.startswith("400")
+
+    def test_unsupported_content_type(self, app):
+        status, _, _ = call(app, "POST", "/jobs", b"x", "text/plain")
+        assert status.startswith("400")
+
+    def test_multipart_submit(self, app):
+        boundary = "XyZ123"
+        parts = []
+        for name, content in [
+            ("reference_fasta", REF),
+            ("reads_fastq", FQ),
+            ("sf", "4"),
+            ("device", "cpu"),
+        ]:
+            parts.append(
+                f'--{boundary}\r\nContent-Disposition: form-data; name="{name}"'
+                f"\r\n\r\n{content}\r\n"
+            )
+        body = ("".join(parts) + f"--{boundary}--\r\n").encode()
+        status, _, resp = call(
+            app, "POST", "/jobs", body, f"multipart/form-data; boundary={boundary}"
+        )
+        assert status.startswith("201")
+        assert json.loads(resp)["status"] == "done"
+
+
+class TestResults:
+    def test_results_download(self, app):
+        _, _, body = submit_json(app)
+        job_id = json.loads(body)["job_id"]
+        status, headers, tsv = call(app, "GET", f"/jobs/{job_id}/results")
+        assert status.startswith("200")
+        assert "attachment" in headers["Content-Disposition"]
+        lines = tsv.decode().splitlines()
+        assert lines[0].startswith("read\t")
+        assert len(lines) == 3  # header + 2 reads
+
+    def test_sam_download(self, app):
+        _, _, body = submit_json(app)
+        job_id = json.loads(body)["job_id"]
+        status, headers, sam = call(app, "GET", f"/jobs/{job_id}/sam")
+        assert status.startswith("200")
+        assert "x-sam" in headers["Content-Type"]
+        lines = sam.decode().splitlines()
+        assert lines[0].startswith("@HD")
+        assert any(l.startswith("@SQ\tSN:ref") for l in lines)
+        body_lines = [l for l in lines if not l.startswith("@")]
+        assert len(body_lines) >= 2  # one hit line + one unmapped line
+
+    def test_qc_in_status(self, app):
+        _, _, body = submit_json(app)
+        doc = json.loads(body)
+        assert doc["qc"]["n_reads"] == 2
+        assert "gc_fraction" in doc["qc"]
+        # The demo reads have mixed lengths -> a QC warning is expected.
+        assert isinstance(doc["qc_warnings"], list)
+
+    def test_job_listing(self, app):
+        submit_json(app)
+        submit_json(app)
+        _, _, body = call(app, "GET", "/jobs")
+        assert len(json.loads(body)["jobs"]) == 2
+
+    def test_status_endpoint(self, app):
+        _, _, body = submit_json(app)
+        job_id = json.loads(body)["job_id"]
+        _, _, status_body = call(app, "GET", f"/jobs/{job_id}")
+        assert json.loads(status_body)["job_id"] == job_id
+
+
+class TestJobErrors:
+    def test_bad_reference_job_errors(self):
+        mgr = JobManager()
+        job = mgr.submit(reference_fasta="garbage", reads_fastq=FQ)
+        assert job.status == JobStatus.ERROR
+        assert job.error
+
+    def test_empty_reads_job_errors(self):
+        mgr = JobManager()
+        job = mgr.submit(reference_fasta=REF, reads_fastq="")
+        assert job.status == JobStatus.ERROR
+        assert "no records" in job.error
+
+    def test_multi_record_reference_rejected(self):
+        mgr = JobManager()
+        job = mgr.submit(reference_fasta=">a\nACGT\n>b\nACGT\n", reads_fastq=FQ)
+        assert job.status == JobStatus.ERROR
+        assert "multi-record" in job.error
+
+    def test_bad_device_rejected(self):
+        mgr = JobManager()
+        with pytest.raises(ValueError, match="device"):
+            mgr.submit(reference_fasta=REF, reads_fastq=FQ, device="quantum")
+
+    def test_error_job_has_no_results(self, app):
+        status, _, body = submit_json(app, reference_fasta="junk")
+        # Submission succeeds but the job records the failure.
+        doc = json.loads(body)
+        assert doc["status"] == "error"
+        st, _, _ = call(app, "GET", f"/jobs/{doc['job_id']}/results")
+        assert st.startswith("409")
+
+
+class TestMultipartParser:
+    def test_parses_gzip_file_part(self):
+        boundary = "bnd"
+        gz = gzip.compress(b">x\nACGT\n")
+        body = (
+            f'--{boundary}\r\nContent-Disposition: form-data; name="reference_fasta"; '
+            f'filename="ref.fa.gz"\r\nContent-Type: application/gzip\r\n\r\n'
+        ).encode() + gz + f"\r\n--{boundary}--\r\n".encode()
+        fields = parse_multipart(body, f"multipart/form-data; boundary={boundary}")
+        assert fields["reference_fasta"] == ">x\nACGT\n"
+
+    def test_missing_boundary(self):
+        from repro.web.server import WebAppError
+
+        with pytest.raises(WebAppError, match="boundary"):
+            parse_multipart(b"x", "multipart/form-data")
