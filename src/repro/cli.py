@@ -98,10 +98,21 @@ def _cmd_map(args: argparse.Namespace) -> int:
 
     index = load_index(args.index)
     if args.device == "fpga":
+        from .faults import FaultPlan, RetryPolicy
+
         # FPGA path: functional kernel + modeled time, then host locate.
         with _open_text(args.fastq) as fh:
             reads = [r.sequence for r in parse_fastq(fh)]
-        acc = FPGAAccelerator.for_index(index)
+        fault_plan = None
+        if args.faults:
+            fault_plan = FaultPlan.from_spec(args.faults, seed=args.fault_seed)
+        retry_policy = RetryPolicy(
+            max_retries=args.fault_retries,
+            cpu_fallback=not args.no_cpu_fallback,
+        )
+        acc = FPGAAccelerator.for_index(
+            index, fault_plan=fault_plan, retry_policy=retry_policy
+        )
         run = acc.map_batch(reads, batch_size=args.batch_size)
         print(
             f"simulated FPGA: {run.n_reads} reads, "
@@ -110,6 +121,14 @@ def _cmd_map(args: argparse.Namespace) -> int:
             f"energy {run.energy_joules:.3f} J, "
             f"mapping ratio {run.mapping_ratio:.2f}"
         )
+        if fault_plan is not None:
+            injected = dict(acc.injector.injected) if acc.injector else {}
+            status = "DEGRADED (CPU fallback)" if run.degraded else "recovered"
+            print(
+                f"faults: injected {injected or 'none'}, "
+                f"detected {run.fault_counts or 'none'}, "
+                f"{run.retries} retries, {run.reprograms} reprograms -> {status}"
+            )
 
     if args.format == "sam":
         import time
@@ -285,6 +304,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-size", type=int, default=2048)
     p.add_argument("--format", choices=["tsv", "sam"], default="tsv")
     p.add_argument("--reference-name", default="ref")
+    p.add_argument(
+        "--faults",
+        default="",
+        help="fault-injection spec for --device fpga, e.g. "
+        "'bram_flip_prob=0.5,transfer_corrupt_prob=0.1,max_faults=3'",
+    )
+    p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument(
+        "--fault-retries", type=int, default=3,
+        help="per-batch retry budget before CPU fallback",
+    )
+    p.add_argument(
+        "--no-cpu-fallback", action="store_true",
+        help="raise instead of degrading to the CPU mapper",
+    )
     p.set_defaults(func=_cmd_map)
 
     p = sub.add_parser("inspect", help="print index parameters and validate")

@@ -1,0 +1,322 @@
+"""Deterministic fault injection for the simulated accelerator.
+
+Real deployments of the paper's design keep the whole succinct BWT
+structure resident in on-chip BRAM — exactly the memory that must survive
+transient upsets (configuration/bit-cell flips), corrupted or short PCIe
+transfers, stuck completion events, and kernel hangs.  The FPGA-mapping
+survey literature flags the absence of a fault story as a gap in most
+accelerator prototypes; this module turns the simulator into a
+reliability testbed.
+
+Three pieces:
+
+* :class:`FaultPlan` — a frozen, seedable description of *what* to
+  inject (per-event probabilities plus a total injection budget).  Plans
+  are plain data, so tests, the CLI (``--faults``) and the web app
+  (``fault_plan`` JSON field) can all script the same scenarios.
+* :class:`FaultInjector` — the stateful executor of a plan.  One
+  injector is threaded through the BRAM model, the OpenCL-like queue and
+  the kernel; every decision comes from a single ``numpy`` generator
+  seeded by the plan, so a scenario replays bit-identically.
+* The detection surface — :class:`FaultError` subclasses raised by the
+  *checks* (per-bank CRC words, transfer CRC32, event deadlines, result
+  record sanity), and :class:`RetryPolicy`, the host's recovery ladder:
+  bounded retry with exponential backoff → device reset + reprogram →
+  graceful degradation to the bit-identical CPU mapper.
+
+Injection and detection are deliberately separate: the injector corrupts
+state the way a real upset would (it never raises), and the runtime's own
+integrity checks must *catch* the corruption.  A fault the checks miss is
+a finding, not a feature.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a package cycle
+    from .fpga.bram import BramModel
+
+
+# -- detection-side exceptions -------------------------------------------------
+
+
+class FaultError(RuntimeError):
+    """A detected device-layer fault; the host may retry, reprogram, or
+    degrade to the CPU path."""
+
+
+class BramIntegrityError(FaultError):
+    """A bank's contents no longer match its CRC word (bit upset)."""
+
+
+class TransferError(FaultError):
+    """A host<->device transfer failed its CRC32 / length check."""
+
+
+class DeviceTimeoutError(FaultError):
+    """An event never completed within the host's deadline (stuck)."""
+
+
+class KernelHangError(FaultError):
+    """The kernel watchdog fired: no completion from the device."""
+
+
+class ResultValidationError(FaultError):
+    """A result record failed sanity validation (interval bounds)."""
+
+
+def crc32_of(data: np.ndarray | bytes) -> int:
+    """CRC32 of an array's raw bytes (the checksum used on transfers
+    and as each BRAM bank's integrity word)."""
+    if isinstance(data, np.ndarray):
+        data = np.ascontiguousarray(data).tobytes()
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def validate_result_records(records: np.ndarray, n_rows: int) -> None:
+    """Sanity-check a device result buffer of ``[fs, fe, rs, re]`` rows.
+
+    Every interval bound must lie in ``[0, n_rows]`` with ``start <= end``
+    (the invariant backward search maintains); anything else is a garbage
+    record and raises :class:`ResultValidationError`.
+    """
+    records = np.asarray(records)
+    if records.ndim != 2 or (records.size and records.shape[1] != 4):
+        raise ResultValidationError(
+            f"result buffer has shape {records.shape}, expected (n, 4)"
+        )
+    if records.size == 0:
+        return
+    if int(records.min()) < 0 or int(records.max()) > n_rows:
+        raise ResultValidationError(
+            f"result interval bound outside [0, {n_rows}] "
+            f"(min {int(records.min())}, max {int(records.max())})"
+        )
+    if (records[:, 0] > records[:, 1]).any() or (records[:, 2] > records[:, 3]).any():
+        raise ResultValidationError("result interval has start > end")
+
+
+# -- the plan ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to inject, how often, and under which seed.
+
+    All probabilities are per *opportunity* (one batch attempt for BRAM
+    upsets, one transfer, one scheduled command, one kernel invocation).
+    ``max_faults`` bounds the total number of injected faults across all
+    kinds — a plan with a small budget models a transient burst the
+    retry ladder should absorb; ``max_faults=None`` models a hard failure
+    that forces degradation to the CPU path.
+    """
+
+    seed: int = 0
+    bram_flip_prob: float = 0.0
+    bram_flips_per_upset: int = 1
+    transfer_corrupt_prob: float = 0.0
+    transfer_truncate_prob: float = 0.0
+    stuck_event_prob: float = 0.0
+    kernel_hang_prob: float = 0.0
+    result_garble_prob: float = 0.0
+    max_faults: int | None = None
+
+    def injector(self) -> "FaultInjector":
+        return FaultInjector(self)
+
+    @property
+    def any_faults(self) -> bool:
+        return any(
+            getattr(self, f.name) > 0
+            for f in fields(self)
+            if f.name.endswith("_prob")
+        )
+
+    @classmethod
+    def from_spec(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse a ``key=value,key=value`` CLI/scripting spec.
+
+        Example: ``"transfer_corrupt_prob=1.0,max_faults=2"``.
+        """
+        known = {f.name for f in fields(cls)}
+        kwargs: dict[str, object] = {"seed": seed}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"bad fault spec entry {part!r} (expected key=value)")
+            key, _, raw = part.partition("=")
+            key, raw = key.strip(), raw.strip()
+            if key not in known:
+                raise ValueError(
+                    f"unknown fault plan field {key!r}; known fields: "
+                    f"{', '.join(sorted(known))}"
+                )
+            if raw.lower() in ("none", ""):
+                kwargs[key] = None
+            else:
+                try:
+                    kwargs[key] = int(raw)
+                except ValueError:
+                    kwargs[key] = float(raw)
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultPlan":
+        """Build a plan from a JSON document (the web submission field)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(
+                f"unknown fault plan field(s) {sorted(unknown)}; known fields: "
+                f"{', '.join(sorted(known))}"
+            )
+        return cls(**doc)
+
+
+# -- the injector --------------------------------------------------------------
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` deterministically.
+
+    Every decision draws from one seeded generator, in call order — the
+    same plan driven through the same code path injects the same faults.
+    ``injected`` counts what actually went in, per kind, so tests can
+    assert that *every* injected fault was also detected and survived.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.rng = np.random.default_rng(plan.seed)
+        self.injected: dict[str, int] = {}
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def _roll(self, kind: str, prob: float) -> bool:
+        if prob <= 0.0:
+            return False
+        if (
+            self.plan.max_faults is not None
+            and self.total_injected >= self.plan.max_faults
+        ):
+            return False
+        if self.rng.random() >= prob:
+            return False
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        return True
+
+    # -- injection points ------------------------------------------------------
+
+    def upset_bram(self, bram: "BramModel") -> bool:
+        """Maybe flip bits in one bank's contents (a transient upset).
+
+        Returns whether an upset happened; detection is the bank CRC's
+        job, not ours.
+        """
+        if not self._roll("bram_upset", self.plan.bram_flip_prob):
+            return False
+        banks = [b for b in bram.banks.values() if b.contents is not None and b.contents.size]
+        if not banks:
+            return False
+        bank = banks[int(self.rng.integers(len(banks)))]
+        for _ in range(max(1, self.plan.bram_flips_per_upset)):
+            byte = int(self.rng.integers(bank.contents.size))
+            bit = int(self.rng.integers(8))
+            bank.contents[byte] ^= np.uint8(1 << bit)
+        return True
+
+    def corrupt_transfer(self, data: np.ndarray) -> np.ndarray:
+        """Return what "arrived" on the wire: the data itself, a
+        bit-flipped copy, or a short (truncated) transfer."""
+        if data.nbytes == 0:
+            return data
+        if self._roll("transfer_truncated", self.plan.transfer_truncate_prob):
+            flat = np.frombuffer(np.ascontiguousarray(data).tobytes(), dtype=np.uint8)
+            keep = int(flat.size * 3 / 4)
+            return flat[:keep].copy()
+        if self._roll("transfer_corrupted", self.plan.transfer_corrupt_prob):
+            out = np.ascontiguousarray(data).copy()
+            flat = out.reshape(-1).view(np.uint8)
+            byte = int(self.rng.integers(flat.size))
+            flat[byte] ^= np.uint8(1 << int(self.rng.integers(8)))
+            return out
+        return data
+
+    def stick_event(self) -> bool:
+        """Should this scheduled command's completion event go stuck?"""
+        return self._roll("stuck_event", self.plan.stuck_event_prob)
+
+    def hang_kernel(self) -> bool:
+        """Should this kernel invocation hang (watchdog territory)?"""
+        return self._roll("kernel_hang", self.plan.kernel_hang_prob)
+
+    def garble_index(self, n_outcomes: int) -> int | None:
+        """Index of a result record to replace with garbage, or None."""
+        if n_outcomes == 0:
+            return None
+        if self._roll("result_garbled", self.plan.result_garble_prob):
+            return int(self.rng.integers(n_outcomes))
+        return None
+
+
+# -- the recovery ladder -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """The host's per-batch recovery ladder.
+
+    On a detected fault: retry (with exponential backoff), after
+    ``reprogram_after`` consecutive failures reset the device and reload
+    the BWT structure, and after ``max_retries`` failed attempts degrade
+    to the bit-identical CPU mapper (``cpu_fallback=True``) or re-raise.
+
+    Backoff is *accounted* (it shows up as modeled fault overhead) but
+    only actually slept when ``sleep=True`` — tests want determinism and
+    speed, long-running services want real pacing.
+    """
+
+    max_retries: int = 3
+    backoff_base_seconds: float = 0.001
+    backoff_factor: float = 2.0
+    backoff_max_seconds: float = 0.1
+    reprogram_after: int = 2
+    reset_seconds: float = 0.05
+    cpu_fallback: bool = True
+    sleep: bool = False
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        if attempt <= 0 or self.backoff_base_seconds <= 0:
+            return 0.0
+        return min(
+            self.backoff_max_seconds,
+            self.backoff_base_seconds * self.backoff_factor ** (attempt - 1),
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One detected fault, as recorded on the run report."""
+
+    kind: str
+    stage: str
+    attempt: int
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "stage": self.stage,
+            "attempt": self.attempt,
+            "detail": self.detail,
+        }

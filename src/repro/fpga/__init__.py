@@ -18,7 +18,9 @@ from .device import (
     ALVEO_U200,
     XEON_E5_2698V3_WATTS,
     CapacityError,
+    DeviceHealth,
     DeviceSpec,
+    DeviceState,
     check_fits,
     max_reference_bases,
 )
@@ -45,7 +47,9 @@ __all__ = [
     "Context",
     "DEFAULT_COST_MODEL",
     "DEFAULT_POWER_MODEL",
+    "DeviceHealth",
     "DeviceSpec",
+    "DeviceState",
     "DualPipeline",
     "Event",
     "FPGAAccelerator",

@@ -14,24 +14,40 @@ Every run returns both the **modeled device seconds** (the reproduction
 of the paper's FPGA column) and the **host wall seconds** the functional
 simulation actually took (reported for honesty, never mixed into the
 tables).
+
+The host is fault-tolerant.  Each batch runs under a recovery ladder
+(:class:`~repro.faults.RetryPolicy`): detected faults — BRAM CRC
+mismatches, transfer CRC/length failures, stuck events, kernel hangs,
+garbage result records — are retried with exponential backoff, the
+device is reset and reprogrammed after repeated failures, and when the
+retry budget is exhausted the batch degrades to the bit-identical CPU
+search path, with the degradation (and every fault along the way)
+recorded on the :class:`AcceleratorRun` report.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core.bwt_structure import BWTStructure
+from ..faults import (
+    FaultError,
+    FaultEvent,
+    FaultPlan,
+    RetryPolicy,
+    validate_result_records,
+)
 from ..index.fm_index import FMIndex
 from ..mapper.query import pack_queries
+from ..sequence.alphabet import reverse_complement
 from .cost_model import DEFAULT_COST_MODEL, FPGACostModel
-from .device import ALVEO_U200, DeviceSpec
-from .kernel import BackwardSearchKernel, KernelRun
+from .device import ALVEO_U200, DeviceHealth, DeviceSpec
+from .kernel import BackwardSearchKernel, KernelRun, QueryOutcome
 from .opencl import CommandQueue, Context
 from .power import DEFAULT_POWER_MODEL, PowerModel
-
-import time
 
 
 @dataclass
@@ -46,6 +62,14 @@ class AcceleratorRun:
     host_wall_seconds: float
     energy_joules: float
     breakdown: dict[str, float] = field(default_factory=dict)
+    #: Fault-tolerance ledger: did any batch fall back to the CPU path,
+    #: how many retries/reprograms happened, and what was detected.
+    degraded: bool = False
+    retries: int = 0
+    reprograms: int = 0
+    fault_counts: dict[str, int] = field(default_factory=dict)
+    fault_events: list[FaultEvent] = field(default_factory=list)
+    modeled_fault_overhead_seconds: float = 0.0
 
     @property
     def n_reads(self) -> int:
@@ -70,6 +94,14 @@ class FPGAAccelerator:
         The succinct BWT structure to load on-chip.
     cost_model / power_model / spec:
         Calibrated device models (defaults reproduce the paper's setup).
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan`; when given, its
+        injector is threaded through the queue, the kernel and the BRAM
+        banks so scripted fault scenarios exercise the recovery ladder.
+    retry_policy:
+        The recovery ladder (bounded retry → reset + reprogram → CPU
+        fallback).  The integrity checks run regardless of whether a
+        fault plan is attached.
     """
 
     def __init__(
@@ -78,12 +110,18 @@ class FPGAAccelerator:
         cost_model: FPGACostModel = DEFAULT_COST_MODEL,
         power_model: PowerModel = DEFAULT_POWER_MODEL,
         spec: DeviceSpec = ALVEO_U200,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         self.cost_model = cost_model
         self.power_model = power_model
         self.spec = spec
-        self.kernel = BackwardSearchKernel(structure, spec=spec)
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.injector = fault_plan.injector() if fault_plan is not None else None
+        self.kernel = BackwardSearchKernel(structure, spec=spec, injector=self.injector)
         self.context = Context(spec)
+        self.health = DeviceHealth()
         self.structure_bytes = self.kernel.structure_bytes()
         self._programmed = False
         self._program_seconds = 0.0
@@ -123,13 +161,31 @@ class FPGAAccelerator:
         ``batch_size`` splits the read set into successive kernel
         invocations, as the real host does ("iteratively fetches query
         sequences from the host's memory"); results and statistics are
-        aggregated across batches.
+        aggregated across batches.  Detected faults are retried per the
+        accelerator's :class:`~repro.faults.RetryPolicy`; results are
+        bit-identical to a clean run whether a batch succeeded on the
+        device or degraded to the CPU path.
         """
         reads = list(reads)
-        queue = CommandQueue(self.context, cost_model=self.cost_model)
+        queue = CommandQueue(
+            self.context, cost_model=self.cost_model, injector=self.injector
+        )
         t0 = time.perf_counter()
+        fault_events: list[FaultEvent] = []
+        retries = 0
+        reprograms = 0
+        overhead_s = 0.0
+        degraded = False
+        device_ok = True
+
         if include_load:
-            self.program(queue)
+            ok, program_stats = self._program_with_recovery(queue)
+            device_ok = ok
+            fault_events.extend(program_stats["events"])
+            retries += program_stats["retries"]
+            reprograms += program_stats["reprograms"]
+            overhead_s += program_stats["overhead_s"]
+            degraded |= not ok
         elif not self._programmed:
             raise RuntimeError("device not programmed; call with include_load=True first")
 
@@ -139,20 +195,15 @@ class FPGAAccelerator:
         op_counts: dict[str, int] = {}
         for start in range(0, len(reads), batch_size):
             chunk = reads[start : start + batch_size]
-            records = pack_queries(chunk, start_id=start)
-            qbuf = self.context.create_buffer(records.nbytes)
-            queue.enqueue_write_buffer(qbuf, records)
-            kev = queue.enqueue_kernel(
-                lambda r=records: self.kernel.execute(r),
-                modeled_seconds_of=lambda run: self.cost_model.kernel_seconds(
-                    run.hw_steps_total, run.n_reads
-                ),
-            )
-            run: KernelRun = kev.wait()  # type: ignore[assignment]
-            result_arr = run.result_array()
-            rbuf = self.context.create_buffer(max(result_arr.nbytes, 8))
-            rbuf.fill_from_device(result_arr)
-            queue.enqueue_read_buffer(rbuf)
+            if device_ok:
+                run, stats = self._run_batch_with_recovery(queue, chunk, start)
+                fault_events.extend(stats["events"])
+                retries += stats["retries"]
+                reprograms += stats["reprograms"]
+                overhead_s += stats["overhead_s"]
+                degraded |= stats["degraded"]
+            else:
+                run = self._cpu_pass(chunk, start)
             all_outcomes.extend(run.outcomes)
             hw_total += run.hw_steps_total
             sw_total += run.sw_steps_total
@@ -160,6 +211,8 @@ class FPGAAccelerator:
                 op_counts[k] = op_counts.get(k, 0) + v
         queue.finish()
         host_wall = time.perf_counter() - t0
+        if degraded:
+            self.health.mark_failed()
 
         merged = KernelRun(
             outcomes=all_outcomes,
@@ -174,7 +227,12 @@ class FPGAAccelerator:
         if not include_load:
             report["total_seconds"] -= report["load_seconds"]
             report["load_seconds"] = 0.0
+        report["fault_overhead_seconds"] = overhead_s
+        report["total_seconds"] += overhead_s
         modeled = report["total_seconds"]
+        fault_counts: dict[str, int] = {}
+        for ev in fault_events:
+            fault_counts[ev.kind] = fault_counts.get(ev.kind, 0) + 1
         return AcceleratorRun(
             kernel_run=merged,
             modeled_seconds=modeled,
@@ -184,4 +242,152 @@ class FPGAAccelerator:
             host_wall_seconds=host_wall,
             energy_joules=self.cost_model.energy_joules(modeled),
             breakdown=report,
+            degraded=degraded,
+            retries=retries,
+            reprograms=reprograms,
+            fault_counts=fault_counts,
+            fault_events=fault_events,
+            modeled_fault_overhead_seconds=overhead_s,
         )
+
+    # -- recovery ladder -------------------------------------------------------
+
+    def _program_with_recovery(self, queue: CommandQueue) -> tuple[bool, dict]:
+        """Program the device under the retry policy.
+
+        Returns ``(device_ok, stats)``; a device that cannot even be
+        programmed degrades the whole run to the CPU path instead of
+        failing it.
+        """
+        policy = self.retry_policy
+        stats = {"events": [], "retries": 0, "reprograms": 0, "overhead_s": 0.0}
+        attempt = 0
+        while True:
+            try:
+                self.program(queue)
+                self.health.record_success()
+                return True, stats
+            except FaultError as exc:
+                attempt += 1
+                self._record_fault(stats, exc, "program", attempt)
+                if attempt > policy.max_retries:
+                    if policy.cpu_fallback:
+                        return False, stats
+                    raise
+                stats["retries"] += 1
+                self._backoff(stats, attempt)
+
+    def _run_batch_with_recovery(
+        self, queue: CommandQueue, chunk: list[str], start_id: int
+    ) -> tuple[KernelRun, dict]:
+        """One batch through the ladder: retry → reprogram → CPU."""
+        policy = self.retry_policy
+        stats = {
+            "events": [],
+            "retries": 0,
+            "reprograms": 0,
+            "overhead_s": 0.0,
+            "degraded": False,
+        }
+        records = pack_queries(chunk, start_id=start_id)
+        attempt = 0
+        while True:
+            try:
+                if self.injector is not None:
+                    # A transient upset may have hit the banks since the
+                    # last access; the kernel's CRC check must catch it.
+                    self.injector.upset_bram(self.kernel.bram)
+                run = self._device_pass(queue, records)
+                self.health.record_success()
+                return run, stats
+            except FaultError as exc:
+                attempt += 1
+                self._record_fault(stats, exc, "map_batch", attempt)
+                if attempt > policy.max_retries:
+                    if policy.cpu_fallback:
+                        stats["degraded"] = True
+                        return self._cpu_pass(chunk, start_id), stats
+                    raise
+                stats["retries"] += 1
+                self._backoff(stats, attempt)
+                if self.health.consecutive_faults >= policy.reprogram_after:
+                    stats["overhead_s"] += self._reset_and_reprogram()
+                    stats["reprograms"] += 1
+
+    def _device_pass(self, queue: CommandQueue, records: np.ndarray) -> KernelRun:
+        """One attempt of the write → kernel → read → validate flow."""
+        qbuf = self.context.create_buffer(max(records.nbytes, 8))
+        queue.enqueue_write_buffer(qbuf, records)
+        kev = queue.enqueue_kernel(
+            lambda r=records: self.kernel.execute(r),
+            modeled_seconds_of=lambda run: self.cost_model.kernel_seconds(
+                run.hw_steps_total, run.n_reads
+            ),
+        )
+        run: KernelRun = kev.wait()  # type: ignore[assignment]
+        result_arr = run.result_array()
+        rbuf = self.context.create_buffer(max(result_arr.nbytes, 8))
+        rbuf.fill_from_device(result_arr)
+        rev = queue.enqueue_read_buffer(rbuf)
+        arrived = np.asarray(rev.wait()).reshape(-1, 4)
+        validate_result_records(arrived, self.kernel.n_rows)
+        return run
+
+    def _cpu_pass(self, chunk: list[str], start_id: int) -> KernelRun:
+        """The degradation rung: the same search on the CPU.
+
+        This is literally the same :class:`FMIndex` batch search the
+        kernel model executes, so intervals are bit-identical to a clean
+        device run — degradation trades modeled speed, never answers.
+        """
+        seqs = list(chunk)
+        rcs = [reverse_complement(s) for s in seqs]
+        lo, hi, steps = self.kernel._index.search_batch(seqs + rcs)
+        n = len(seqs)
+        outcomes = []
+        hw_total = 0
+        sw_total = 0
+        for i in range(n):
+            out = QueryOutcome(
+                query_id=start_id + i,
+                fwd_start=int(lo[i]),
+                fwd_end=int(hi[i]),
+                rc_start=int(lo[n + i]),
+                rc_end=int(hi[n + i]),
+                fwd_steps=int(steps[i]),
+                rc_steps=int(steps[n + i]),
+            )
+            outcomes.append(out)
+            hw_total += out.hw_steps
+            sw_total += out.fwd_steps + out.rc_steps
+        return KernelRun(
+            outcomes=outcomes,
+            hw_steps_total=hw_total,
+            sw_steps_total=sw_total,
+        )
+
+    def _reset_and_reprogram(self) -> float:
+        """Device reset + structure reload; returns modeled seconds.
+
+        The reload is charged through the cost model directly (not the
+        fault-injected queue): reprogramming uses the host's golden copy
+        over a freshly reset link.
+        """
+        self.kernel.reprogram()
+        self.health.record_reset()
+        return self.retry_policy.reset_seconds + self.cost_model.load_seconds(
+            self.structure_bytes
+        )
+
+    def _record_fault(self, stats: dict, exc: FaultError, stage: str, attempt: int) -> None:
+        kind = type(exc).__name__
+        self.health.record_fault(kind)
+        stats["events"].append(
+            FaultEvent(kind=kind, stage=stage, attempt=attempt, detail=str(exc))
+        )
+
+    def _backoff(self, stats: dict, attempt: int) -> None:
+        seconds = self.retry_policy.backoff_seconds(attempt)
+        stats["overhead_s"] += seconds
+        if self.retry_policy.sleep and seconds > 0:
+            time.sleep(seconds)

@@ -13,12 +13,23 @@ bank), which the cycle model and the tests consume:
 * traffic counts let tests assert the kernel's memory behaviour (e.g.
   one partial-sum read and at most ``sf`` class reads per binary rank)
   without timing anything.
+
+Each bank additionally carries a byte snapshot of its contents and a CRC
+word computed when the array is placed.  The fault injector flips bits in
+the snapshot; :meth:`BramBank.verify` / :meth:`BramModel.verify_integrity`
+are the on-access parity check that detects the upset
+(:class:`~repro.faults.BramIntegrityError`), and :meth:`BramModel.reprogram`
+models the recovery path — device reset + reload from the host's golden
+copy of the structure.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from ..faults import BramIntegrityError, crc32_of
 from .device import ALVEO_U200, CapacityError, DeviceSpec
 
 
@@ -30,6 +41,40 @@ class BramBank:
     size_bytes: int
     reads: int = 0
     writes: int = 0
+    #: Byte image of the stored array (zeros when the logical array has
+    #: no host-side byte representation, e.g. packed class streams).
+    contents: np.ndarray | None = None
+    #: CRC word computed at program time; the bank's parity check.
+    crc32: int = 0
+    _golden: np.ndarray | None = field(default=None, repr=False)
+
+    def store(self, data: np.ndarray | None) -> None:
+        """Program the bank: snapshot contents and compute the CRC word."""
+        if data is None:
+            image = np.zeros(self.size_bytes, dtype=np.uint8)
+        else:
+            image = np.frombuffer(
+                np.ascontiguousarray(data).tobytes(), dtype=np.uint8
+            ).copy()
+        self.contents = image
+        self._golden = image.copy()
+        self.crc32 = crc32_of(image)
+
+    def verify(self) -> None:
+        """The on-access parity/CRC check; raises on a detected upset."""
+        if self.contents is None:
+            return
+        if crc32_of(self.contents) != self.crc32:
+            raise BramIntegrityError(
+                f"bank {self.name!r} failed its CRC check "
+                f"({self.contents.size} B image): bit upset detected"
+            )
+
+    def restore(self) -> None:
+        """Reload the bank from the golden copy (part of reprogramming)."""
+        if self._golden is not None:
+            self.contents = self._golden.copy()
+            self.writes += 1
 
     def read(self, count: int = 1) -> None:
         self.reads += count
@@ -46,9 +91,12 @@ class BramModel:
     margin: float = 0.85
     banks: dict[str, BramBank] = field(default_factory=dict)
 
-    def allocate(self, name: str, size_bytes: int) -> BramBank:
+    def allocate(
+        self, name: str, size_bytes: int, data: np.ndarray | None = None
+    ) -> BramBank:
         """Place an array; raises :class:`CapacityError` when the pool
-        (at ``margin``) would overflow."""
+        (at ``margin``) would overflow.  ``data`` (when the logical array
+        has a host-side byte image) seeds the bank's contents and CRC."""
         if name in self.banks:
             raise ValueError(f"bank {name!r} already allocated")
         if size_bytes < 0:
@@ -61,8 +109,20 @@ class BramModel:
                 f"({self.allocated_bytes / 1e6:.2f} MB already placed)"
             )
         bank = BramBank(name=name, size_bytes=size_bytes)
+        bank.store(data)
         self.banks[name] = bank
         return bank
+
+    def verify_integrity(self) -> None:
+        """Check every bank's CRC word (the kernel's on-access check)."""
+        for bank in self.banks.values():
+            bank.verify()
+
+    def reprogram(self) -> int:
+        """Restore every bank from its golden copy; returns banks touched."""
+        for bank in self.banks.values():
+            bank.restore()
+        return len(self.banks)
 
     @property
     def allocated_bytes(self) -> int:

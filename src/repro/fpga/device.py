@@ -21,7 +21,8 @@ freely map large arrays to either.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from enum import Enum
 
 
 @dataclass(frozen=True)
@@ -61,6 +62,58 @@ XEON_E5_2698V3_WATTS = 135.0
 
 class CapacityError(RuntimeError):
     """Raised when a structure does not fit the device's on-chip memory."""
+
+
+class DeviceState(Enum):
+    """Host-side view of the card's condition."""
+
+    OK = "ok"
+    FAULTY = "faulty"  # faults observed, still serving after recovery
+    FAILED = "failed"  # retry ladder exhausted; traffic degraded to CPU
+
+
+@dataclass
+class DeviceHealth:
+    """Fault/recovery ledger the host keeps per device.
+
+    The accelerator records every detected fault, successful attempt and
+    reset here; the web job summary and the CLI fault report read it
+    back.  ``consecutive_faults`` drives the reset-and-reprogram rung of
+    the recovery ladder.
+    """
+
+    state: DeviceState = DeviceState.OK
+    consecutive_faults: int = 0
+    total_faults: int = 0
+    resets: int = 0
+    fault_kinds: dict[str, int] = field(default_factory=dict)
+
+    def record_fault(self, kind: str) -> None:
+        self.consecutive_faults += 1
+        self.total_faults += 1
+        self.fault_kinds[kind] = self.fault_kinds.get(kind, 0) + 1
+        if self.state is DeviceState.OK:
+            self.state = DeviceState.FAULTY
+
+    def record_success(self) -> None:
+        self.consecutive_faults = 0
+        if self.state is DeviceState.FAULTY:
+            self.state = DeviceState.OK
+
+    def record_reset(self) -> None:
+        self.resets += 1
+        self.consecutive_faults = 0
+
+    def mark_failed(self) -> None:
+        self.state = DeviceState.FAILED
+
+    def to_dict(self) -> dict:
+        return {
+            "state": self.state.value,
+            "total_faults": self.total_faults,
+            "resets": self.resets,
+            "fault_kinds": dict(self.fault_kinds),
+        }
 
 
 def check_fits(spec: DeviceSpec, structure_bytes: int, margin: float = 0.85) -> None:

@@ -24,6 +24,7 @@ import numpy as np
 from ..core.bwt_structure import BWTStructure
 from ..core.counters import CounterScope
 from ..core.rrr import RRRVector
+from ..faults import FaultInjector, KernelHangError
 from ..index.fm_index import FMIndex
 from ..mapper.query import unpack_queries
 from ..sequence.alphabet import reverse_complement
@@ -92,24 +93,45 @@ class BackwardSearchKernel:
         fit at synthesis.
     spec:
         Device description (capacity, port width, clock).
+    injector:
+        Optional :class:`~repro.faults.FaultInjector`; when attached, the
+        kernel is subject to injected hangs and garbage result records,
+        and its BRAM banks to bit upsets.  The kernel's own CRC check on
+        bank access is the detection side.
     """
 
-    def __init__(self, structure: BWTStructure, spec: DeviceSpec = ALVEO_U200):
+    def __init__(
+        self,
+        structure: BWTStructure,
+        spec: DeviceSpec = ALVEO_U200,
+        injector: FaultInjector | None = None,
+    ):
         self.structure = structure
         self.spec = spec
+        self.injector = injector
         self.bram = BramModel(spec=spec)
         self._place_structure()
         self._index = FMIndex(structure, locate_structure=None)
 
     def _place_structure(self) -> None:
-        """Allocate one bank per logical array of the structure."""
+        """Allocate one bank per logical array of the structure.
+
+        Arrays with a host-side byte image seed the bank contents (and
+        thereby the bank's CRC word); packed streams without one get a
+        zero image of the right size — the integrity check works the
+        same either way.
+        """
         tree = self.structure.tree
         for i, node in enumerate(tree.nodes()):
             bits = node.bits
             if isinstance(bits, RRRVector):
                 self.bram.allocate(f"node{i}_classes", (bits.n_blocks + 1) // 2)
-                self.bram.allocate(f"node{i}_psums", bits.partial_sums.nbytes)
-                self.bram.allocate(f"node{i}_osums", bits.offset_sums.nbytes)
+                self.bram.allocate(
+                    f"node{i}_psums", bits.partial_sums.nbytes, data=bits.partial_sums
+                )
+                self.bram.allocate(
+                    f"node{i}_osums", bits.offset_sums.nbytes, data=bits.offset_sums
+                )
                 self.bram.allocate(f"node{i}_offsets", (bits.offset_bits + 7) // 8)
             else:
                 self.bram.allocate(f"node{i}_bits", bits.size_in_bytes())
@@ -117,8 +139,18 @@ class BackwardSearchKernel:
         root = tree.root.bits
         if isinstance(root, RRRVector):
             self.bram.allocate("global_rank_table", root.tables.size_in_bytes())
-        self.bram.allocate("c_array", self.structure.C.nbytes)
+        self.bram.allocate("c_array", self.structure.C.nbytes, data=self.structure.C)
         self.bram.allocate("meta", 16)
+
+    @property
+    def n_rows(self) -> int:
+        """Rows of the BWT matrix (the bound result intervals live in)."""
+        return self._index.n_rows
+
+    def reprogram(self) -> int:
+        """Reload every bank from the host's golden copy (device reset +
+        reprogram recovery rung); returns the number of banks restored."""
+        return self.bram.reprogram()
 
     # -- execution ------------------------------------------------------------
 
@@ -131,6 +163,15 @@ class BackwardSearchKernel:
         this method uses the vectorized search for speed and charges BRAM
         traffic from the rank structures' operation counters.
         """
+        if self.injector is not None and self.injector.hang_kernel():
+            raise KernelHangError(
+                "kernel produced no completion within the watchdog deadline "
+                "(simulated hang)"
+            )
+        # On-access integrity: the succinct structure is read start to end
+        # every invocation, so the CRC words are checked here, before any
+        # interval leaves the device.
+        self.bram.verify_integrity()
         queries = unpack_queries(records)
         seqs = [q.sequence for q in queries]
         rcs = [reverse_complement(s) for s in seqs]
@@ -154,6 +195,19 @@ class BackwardSearchKernel:
             outcomes.append(out)
             hw_total += out.hw_steps
             sw_total += out.fwd_steps + out.rc_steps
+        if self.injector is not None:
+            gi = self.injector.garble_index(len(outcomes))
+            if gi is not None:
+                bad = outcomes[gi]
+                outcomes[gi] = QueryOutcome(
+                    query_id=bad.query_id,
+                    fwd_start=-1,
+                    fwd_end=self._index.n_rows + 17,
+                    rc_start=bad.rc_end,
+                    rc_end=bad.rc_start,
+                    fwd_steps=bad.fwd_steps,
+                    rc_steps=bad.rc_steps,
+                )
         self._charge_bram(scope.delta)
         return KernelRun(
             outcomes=outcomes,

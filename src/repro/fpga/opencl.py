@@ -15,6 +15,15 @@ then reads kernel time exactly the way the paper does::
     event = queue.enqueue_kernel(...)
     queue.finish()
     seconds = (event.profile_end - event.profile_start) / 1e9
+
+Every buffer transfer is CRC32-checked end to end: the runtime computes
+the checksum of the source bytes, models the wire (where a
+:class:`~repro.faults.FaultInjector`, when attached, may flip bits or
+truncate), and verifies what arrived — a mismatch raises
+:class:`~repro.faults.TransferError` before corrupt data lands anywhere.
+An injector may also mark a completion event *stuck*; waiting on it
+raises :class:`~repro.faults.DeviceTimeoutError`, modeling the host-side
+deadline firing.
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..faults import DeviceTimeoutError, FaultInjector, TransferError, crc32_of
 from .cost_model import DEFAULT_COST_MODEL, FPGACostModel
 from .device import ALVEO_U200, DeviceSpec
 
@@ -52,6 +62,7 @@ class Event:
     profile_start: int = 0
     profile_end: int = 0
     _payload: object = None
+    _stuck: bool = False
 
     @property
     def duration_seconds(self) -> float:
@@ -59,7 +70,15 @@ class Event:
 
     def wait(self) -> object:
         """Block until complete (a no-op on the modeled timeline) and
-        return the command's payload (e.g. a kernel's result)."""
+        return the command's payload (e.g. a kernel's result).
+
+        A stuck event (injected fault) never completes; the host-side
+        deadline fires instead as :class:`DeviceTimeoutError`."""
+        if self._stuck:
+            raise DeviceTimeoutError(
+                f"{self.command.value} event never completed "
+                f"(host deadline fired; device stuck)"
+            )
         return self._payload
 
 
@@ -121,6 +140,7 @@ class CommandQueue:
     profiling: bool = True
     device_time_ns: int = 0
     events: list[Event] = field(default_factory=list)
+    injector: FaultInjector | None = None
 
     def _schedule(self, command: CommandType, duration_s: float, payload=None) -> Event:
         ev = Event(command=command, _payload=payload)
@@ -130,8 +150,32 @@ class CommandQueue:
             ev.profile_start = self.device_time_ns
             self.device_time_ns += max(0, int(round(duration_s * 1e9)))
             ev.profile_end = self.device_time_ns
+        # Only commands the host waits on can meaningfully go stuck.
+        if (
+            self.injector is not None
+            and command in (CommandType.KERNEL, CommandType.READ_BUFFER)
+            and self.injector.stick_event()
+        ):
+            ev._stuck = True
         self.events.append(ev)
         return ev
+
+    def _transfer(self, data: np.ndarray, direction: str) -> np.ndarray:
+        """Model the wire: CRC the source, let the injector corrupt the
+        in-flight copy, verify length + CRC on arrival."""
+        src_bytes = np.ascontiguousarray(data).tobytes()
+        arrived = data if self.injector is None else self.injector.corrupt_transfer(data)
+        if arrived.nbytes != len(src_bytes):
+            raise TransferError(
+                f"{direction} transfer short: {arrived.nbytes} of "
+                f"{len(src_bytes)} B arrived"
+            )
+        if crc32_of(arrived) != crc32_of(src_bytes):
+            raise TransferError(
+                f"{direction} transfer of {len(src_bytes)} B failed its "
+                f"CRC32 check: corruption on the wire"
+            )
+        return arrived
 
     def enqueue_write_buffer(self, buf: Buffer, data: np.ndarray,
                              bytes_per_sec: float | None = None) -> Event:
@@ -142,7 +186,8 @@ class CommandQueue:
             raise CLError(
                 f"write of {data.nbytes} B exceeds buffer size {buf.size_bytes} B"
             )
-        buf._data = data.copy()
+        arrived = self._transfer(data, "host->device")
+        buf._data = arrived.copy()
         bw = bytes_per_sec if bytes_per_sec is not None else self.cost_model.pcie_bytes_per_sec
         return self._schedule(CommandType.WRITE_BUFFER, data.nbytes / bw)
 
@@ -152,10 +197,11 @@ class CommandQueue:
         if buf._data is None:
             raise CLError(f"buffer {buf.buffer_id} read before any write")
         nbytes = buf._data.nbytes
+        arrived = self._transfer(buf._data, "device->host")
         ev = self._schedule(
             CommandType.READ_BUFFER,
             nbytes / self.cost_model.pcie_bytes_per_sec,
-            payload=buf._data.copy(),
+            payload=arrived.copy(),
         )
         return ev
 

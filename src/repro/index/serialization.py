@@ -10,11 +10,19 @@ version, backend kind, parameters).  Loading *re-encodes* the succinct
 structure from the stored BWT rather than pickling live objects — the
 arrays are the ground truth, re-encoding is fast, and it keeps the format
 robust against refactors of in-memory layouts.
+
+Integrity: every stored array carries a CRC32 in the metadata
+(``array_crc32``), verified on load.  Truncated, bit-flipped or
+otherwise unreadable archives raise :class:`IndexFormatError` — never a
+raw ``numpy``/``zipfile``/``zlib`` error — so callers have one exception
+to handle for "this index file cannot be trusted".  Archives written
+before the checksum field are still readable (no CRCs to verify).
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -30,7 +38,54 @@ FORMAT_VERSION = 1
 
 
 class IndexFormatError(ValueError):
-    """Raised when an archive is missing fields or version-incompatible."""
+    """Raised when an archive is missing fields, version-incompatible,
+    truncated, or fails its checksum verification."""
+
+
+def _array_crc32(arr: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(arr).tobytes()) & 0xFFFFFFFF
+
+
+def _attach_crcs(arrays: dict[str, np.ndarray], meta: dict) -> None:
+    """Record per-array CRC32 words in ``meta`` (the metadata blob itself
+    is excluded — it carries the checksums)."""
+    meta["array_crc32"] = {
+        name: _array_crc32(arr) for name, arr in arrays.items() if name != "meta_json"
+    }
+
+
+def _meta_array(meta: dict) -> np.ndarray:
+    return np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8).copy()
+
+
+def _read_archive(path: Path) -> tuple[dict, dict[str, np.ndarray]]:
+    """Load and integrity-check an archive; all read/decode failures
+    surface as :class:`IndexFormatError`."""
+    try:
+        with np.load(path) as data:
+            arrays = {name: data[name] for name in data.files}
+    except IndexFormatError:
+        raise
+    except Exception as exc:  # zipfile/zlib/numpy surfaces vary by failure
+        raise IndexFormatError(
+            f"cannot read index archive {path}: {type(exc).__name__}: {exc}"
+        ) from exc
+    if "meta_json" not in arrays:
+        raise IndexFormatError("archive missing field: 'meta_json'")
+    try:
+        meta = json.loads(bytes(arrays["meta_json"]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise IndexFormatError(f"archive metadata is corrupted: {exc}") from exc
+    crcs = meta.get("array_crc32")
+    if crcs:
+        for name, expected in crcs.items():
+            if name not in arrays:
+                raise IndexFormatError(f"archive missing checksummed array {name!r}")
+            if _array_crc32(arrays[name]) != expected:
+                raise IndexFormatError(
+                    f"checksum mismatch for array {name!r}: archive is corrupted"
+                )
+    return meta, arrays
 
 
 def save_multiref_index(index, path: str | Path) -> None:
@@ -52,13 +107,12 @@ def save_multiref_index(index, path: str | Path) -> None:
         arrays = dict(data)
     meta = json.loads(bytes(arrays["meta_json"]).decode("utf-8"))
     meta["multiref"] = True
-    arrays["meta_json"] = np.frombuffer(
-        json.dumps(meta).encode("utf-8"), dtype=np.uint8
-    ).copy()
     arrays["seq_names_json"] = np.frombuffer(
         json.dumps(list(index.names)).encode("utf-8"), dtype=np.uint8
     ).copy()
     arrays["seq_lengths"] = index.lengths
+    _attach_crcs(arrays, meta)
+    arrays["meta_json"] = _meta_array(meta)
     np.savez_compressed(path, **arrays)
 
 
@@ -67,15 +121,17 @@ def load_multiref_index(path: str | Path, counters=None):
     from .multiref import MultiReferenceIndex
 
     path = Path(path)
-    with np.load(path) as data:
-        meta = json.loads(bytes(data["meta_json"]).decode("utf-8"))
-        if not meta.get("multiref"):
-            raise IndexFormatError(
-                "archive holds a single-reference index; use load_index"
-            )
-        names = json.loads(bytes(data["seq_names_json"]).decode("utf-8"))
-        lengths = data["seq_lengths"].astype(np.int64)
-    inner = load_index(path, counters=counters)
+    meta, arrays = _read_archive(path)
+    if not meta.get("multiref"):
+        raise IndexFormatError(
+            "archive holds a single-reference index; use load_index"
+        )
+    try:
+        names = json.loads(bytes(arrays["seq_names_json"]).decode("utf-8"))
+        lengths = arrays["seq_lengths"].astype(np.int64)
+    except KeyError as exc:
+        raise IndexFormatError(f"archive missing field: {exc}") from exc
+    inner = _build_index_from(meta, arrays, counters)
     # Rebuild the wrapper around the loaded inner index without re-indexing.
     multi = MultiReferenceIndex.__new__(MultiReferenceIndex)
     multi.names = tuple(names)
@@ -127,23 +183,21 @@ def save_index(index: FMIndex, path: str | Path) -> None:
         raise IndexFormatError(
             f"cannot serialize locate structure of type {type(loc).__name__}"
         )
-    arrays["meta_json"] = np.frombuffer(
-        json.dumps(meta).encode("utf-8"), dtype=np.uint8
-    ).copy()
+    _attach_crcs(arrays, meta)
+    arrays["meta_json"] = _meta_array(meta)
     np.savez_compressed(path, **arrays)
 
 
-def load_index(path: str | Path, counters: OpCounters | None = None) -> FMIndex:
-    """Load an archive written by :func:`save_index` and rebuild the index."""
-    path = Path(path)
-    with np.load(path) as data:
-        try:
-            meta = json.loads(bytes(data["meta_json"]).decode("utf-8"))
-            bwt_codes = data["bwt_codes"]
-            dollar_pos = int(data["dollar_pos"][0])
-            sa = data["sa"]
-        except KeyError as exc:
-            raise IndexFormatError(f"archive missing field: {exc}") from exc
+def _build_index_from(
+    meta: dict, arrays: dict[str, np.ndarray], counters: OpCounters | None
+) -> FMIndex:
+    """Rebuild an :class:`FMIndex` from verified archive contents."""
+    try:
+        bwt_codes = arrays["bwt_codes"]
+        dollar_pos = int(arrays["dollar_pos"][0])
+        sa = arrays["sa"]
+    except (KeyError, IndexError) as exc:
+        raise IndexFormatError(f"archive missing field: {exc}") from exc
     version = meta.get("version")
     if version != FORMAT_VERSION:
         raise IndexFormatError(
@@ -176,3 +230,10 @@ def load_index(path: str | Path, counters: OpCounters | None = None) -> FMIndex:
     else:
         raise IndexFormatError(f"unknown locate kind {locate!r}")
     return FMIndex(backend, locate_structure=loc, counters=counters)
+
+
+def load_index(path: str | Path, counters: OpCounters | None = None) -> FMIndex:
+    """Load an archive written by :func:`save_index` and rebuild the index."""
+    path = Path(path)
+    meta, arrays = _read_archive(path)
+    return _build_index_from(meta, arrays, counters)

@@ -13,6 +13,14 @@ same three-step breakdown as the paper's Fig. 4 coloring), and the
 result is a downloadable hits table.  Jobs run either synchronously
 (``background=False``, used by tests and the WSGI app's default) or on a
 daemon thread.
+
+Jobs are fault-tolerant.  A :class:`~repro.faults.FaultPlan` (configured
+on the manager or per submission) scripts device faults; the pipeline
+applies per-stage deadlines and a per-job retry budget
+(:class:`JobPolicy`), and when the device path cannot be salvaged the
+job completes through the bit-identical CPU mapper in the ``DEGRADED``
+terminal state — distinct from ``ERROR``, because the user still gets
+correct results.  Fault and retry counters surface on the job summary.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Literal
 
+from ..faults import FaultError, FaultPlan, RetryPolicy
 from ..fpga.accelerator import FPGAAccelerator
 from ..index.builder import build_index
 from ..io.fasta import read_fasta_str
@@ -43,6 +52,38 @@ class JobStatus(Enum):
     RUNNING = "running"
     DONE = "done"
     ERROR = "error"
+    #: Completed with correct results, but through the CPU fallback after
+    #: the device retry budget was exhausted.
+    DEGRADED = "degraded"
+
+
+class StageDeadlineExceeded(RuntimeError):
+    """A pipeline stage overran its configured wall-clock deadline."""
+
+
+@dataclass(frozen=True)
+class JobPolicy:
+    """Per-job reliability policy.
+
+    ``stage_deadline_seconds`` is either one deadline applied to every
+    stage or a ``{stage_name: seconds}`` mapping (stages: ``parse_inputs``,
+    ``bwt_sa_computation``, ``bwt_encoding``, ``sequence_mapping``).
+    Deadlines are checked when a stage completes — pure-Python stages
+    cannot be preempted, so an overrun is detected, not interrupted.
+    ``max_map_attempts`` is the job-level retry budget for the device
+    mapping stage (each attempt internally carries the accelerator's own
+    per-batch retry ladder).
+    """
+
+    stage_deadline_seconds: float | dict[str, float] | None = None
+    max_map_attempts: int = 2
+
+    def deadline_for(self, stage: str) -> float | None:
+        if self.stage_deadline_seconds is None:
+            return None
+        if isinstance(self.stage_deadline_seconds, dict):
+            return self.stage_deadline_seconds.get(stage)
+        return float(self.stage_deadline_seconds)
 
 
 @dataclass
@@ -67,6 +108,18 @@ class Job:
     results_sam: str = ""
     qc: dict = field(default_factory=dict)
     qc_warnings: list[str] = field(default_factory=list)
+    fault_plan: FaultPlan | None = None
+    #: Failure bookkeeping (dedicated fields — ``stage_seconds`` holds
+    #: only durations).
+    failed_stage: str = ""
+    failed_at: float | None = None
+    #: Fault-tolerance ledger.
+    degraded: bool = False
+    degraded_reason: str = ""
+    retries: int = 0
+    map_attempts: int = 0
+    fault_counts: dict[str, int] = field(default_factory=dict)
+    _current_stage: str = field(default="", repr=False)
 
     def summary(self) -> dict:
         """JSON-able status document served by ``GET /jobs/<id>``."""
@@ -86,16 +139,46 @@ class Job:
             "modeled_device_seconds": self.modeled_device_seconds,
             "qc": dict(self.qc),
             "qc_warnings": list(self.qc_warnings),
+            "failed_stage": self.failed_stage,
+            "failed_at": self.failed_at,
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
+            "retries": self.retries,
+            "map_attempts": self.map_attempts,
+            "fault_counts": dict(self.fault_counts),
         }
+
+    def _merge_fault_counts(self, counts: dict[str, int]) -> None:
+        for kind, n in counts.items():
+            self.fault_counts[kind] = self.fault_counts.get(kind, 0) + n
 
 
 class JobManager:
-    """Creates, runs and looks up jobs."""
+    """Creates, runs and looks up jobs.
 
-    def __init__(self):
+    Parameters
+    ----------
+    fault_plan:
+        Default fault scenario applied to every job's device stage
+        (submissions may override per job).
+    policy:
+        Stage deadlines and the job-level mapping retry budget.
+    retry_policy:
+        The accelerator's per-batch recovery ladder.
+    """
+
+    def __init__(
+        self,
+        fault_plan: FaultPlan | None = None,
+        policy: JobPolicy | None = None,
+        retry_policy: RetryPolicy | None = None,
+    ):
         self._jobs: dict[int, Job] = {}
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
+        self.fault_plan = fault_plan
+        self.policy = policy if policy is not None else JobPolicy()
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
 
     def submit(
         self,
@@ -105,6 +188,7 @@ class JobManager:
         sf: int = 50,
         device: Device = "fpga",
         background: bool = False,
+        fault_plan: FaultPlan | None = None,
     ) -> Job:
         if device not in ("cpu", "fpga"):
             raise ValueError(f"unknown device {device!r} (expected 'cpu' or 'fpga')")
@@ -116,6 +200,7 @@ class JobManager:
                 b=int(b),
                 sf=int(sf),
                 device=device,
+                fault_plan=fault_plan if fault_plan is not None else self.fault_plan,
             )
             self._jobs[job.job_id] = job
         if background:
@@ -136,16 +221,27 @@ class JobManager:
         job.status = JobStatus.RUNNING
         try:
             self._execute(job)
-            job.status = JobStatus.DONE
+            job.status = JobStatus.DEGRADED if job.degraded else JobStatus.DONE
         except Exception as exc:  # surface any stage failure on the job
             job.status = JobStatus.ERROR
             job.error = f"{type(exc).__name__}: {exc}"
-            job.stage_seconds.setdefault("failed_at", time.time())
+            job.failed_stage = job._current_stage
+            job.failed_at = time.time()
             job.results_tsv = ""
             # Keep the traceback server-side for debugging, not in the UI.
             job._traceback = traceback.format_exc()  # type: ignore[attr-defined]
 
+    def _check_deadline(self, job: Job, stage: str, elapsed: float) -> None:
+        deadline = self.policy.deadline_for(stage)
+        if deadline is not None and elapsed > deadline:
+            raise StageDeadlineExceeded(
+                f"stage {stage!r} took {elapsed:.3f}s, over its "
+                f"{deadline:.3f}s deadline"
+            )
+
     def _execute(self, job: Job) -> None:
+        job._current_stage = "parse_inputs"
+        t_parse = time.perf_counter()
         records = read_fasta_str(job.reference_fasta, on_invalid="random")
         if not records:
             raise ValueError("reference FASTA contains no records")
@@ -171,27 +267,33 @@ class JobManager:
         qc = qc_reads(reads)
         job.qc = qc.to_dict()
         job.qc_warnings = qc.warnings()
+        self._check_deadline(job, "parse_inputs", time.perf_counter() - t_parse)
 
         # Step 1 + 2: build (the builder reports both stage times).
+        job._current_stage = "bwt_sa_computation"
         index, report = build_index(ref.sequence, b=job.b, sf=job.sf)
         job.stage_seconds["bwt_sa_computation"] = report.sa_bwt_seconds
         job.stage_seconds["bwt_encoding"] = report.encode_seconds
+        self._check_deadline(job, "bwt_sa_computation", report.sa_bwt_seconds)
+        job._current_stage = "bwt_encoding"
+        self._check_deadline(job, "bwt_encoding", report.encode_seconds)
 
         # Step 3: mapping, on the requested device.
+        job._current_stage = "sequence_mapping"
         seqs = [r.sequence for r in reads]
         names = [r.name for r in reads]
         t0 = time.perf_counter()
         if job.device == "fpga":
-            acc = FPGAAccelerator.for_index(index)
-            run = acc.map_batch(seqs)
-            job.modeled_device_seconds = run.modeled_seconds
-            # Host-side locate from the returned intervals.
-            mapper = Mapper(index, locate=True)
-            results = mapper.map_reads(seqs, names=names)
-        else:
-            mapper = Mapper(index, locate=True)
-            results = mapper.map_reads(seqs, names=names)
-        job.stage_seconds["sequence_mapping"] = time.perf_counter() - t0
+            self._map_on_device(job, index, seqs)
+        # Final results always come from the host-side locate pass (for
+        # the fpga device this is the paper's host locate step; when the
+        # device degraded, it doubles as the bit-identical CPU fallback).
+        mapper = Mapper(index, locate=True)
+        results = mapper.map_reads(seqs, names=names)
+        elapsed = time.perf_counter() - t0
+        job.stage_seconds["sequence_mapping"] = elapsed
+        if job.device == "cpu":
+            self._check_deadline(job, "sequence_mapping", elapsed)
 
         job.n_mapped = round(mapping_ratio(results) * len(results))
         buf = io.StringIO()
@@ -208,3 +310,53 @@ class JobManager:
             reference_length=job.reference_length,
         )
         job.results_sam = sam_buf.getvalue()
+
+    def _map_on_device(self, job: Job, index, seqs: list[str]) -> None:
+        """Device mapping under the job-level retry budget.
+
+        Each attempt runs the accelerator (which carries its own
+        per-batch ladder).  An attempt fails the job-level budget when
+        the accelerator raises (``cpu_fallback`` disabled in its policy)
+        or the stage overruns its deadline; exhausting the budget —
+        like the accelerator's own internal degradation — completes the
+        job via the CPU path in the ``DEGRADED`` state.
+        """
+        deadline = self.policy.deadline_for("sequence_mapping")
+        acc = FPGAAccelerator.for_index(
+            index, fault_plan=job.fault_plan, retry_policy=self.retry_policy
+        )
+        last_failure = ""
+        for attempt in range(1, max(1, self.policy.max_map_attempts) + 1):
+            job.map_attempts = attempt
+            t0 = time.perf_counter()
+            try:
+                run = acc.map_batch(seqs)
+            except FaultError as exc:
+                job.retries += 1
+                job._merge_fault_counts({type(exc).__name__: 1})
+                last_failure = f"{type(exc).__name__}: {exc}"
+                continue
+            job.retries += run.retries
+            job._merge_fault_counts(run.fault_counts)
+            elapsed = time.perf_counter() - t0
+            if deadline is not None and elapsed > deadline:
+                job._merge_fault_counts({"StageDeadlineExceeded": 1})
+                last_failure = (
+                    f"mapping attempt took {elapsed:.3f}s, over its "
+                    f"{deadline:.3f}s deadline"
+                )
+                continue
+            job.modeled_device_seconds = run.modeled_seconds
+            if run.degraded:
+                job.degraded = True
+                job.degraded_reason = (
+                    "accelerator retry budget exhausted "
+                    f"({run.retries} retries, {run.reprograms} reprograms); "
+                    "results served from the CPU fallback"
+                )
+            return
+        job.degraded = True
+        job.degraded_reason = (
+            f"device mapping failed {job.map_attempts} attempt(s) "
+            f"(last: {last_failure}); results served from the CPU fallback"
+        )

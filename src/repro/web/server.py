@@ -28,7 +28,12 @@ import json
 import re
 from typing import Callable, Iterable
 
-from .jobs import JobManager
+from ..faults import FaultPlan, RetryPolicy
+from .jobs import JobManager, JobPolicy
+
+#: Default request-body cap: enough for a gzip+base64 chromosome-scale
+#: upload, small enough that one request cannot exhaust host memory.
+DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
 
 _FORM_HTML = """<!doctype html>
 <html><head><title>BWaveR — hybrid DNA sequence mapper</title></head>
@@ -101,11 +106,28 @@ def parse_multipart(body: bytes, content_type: str) -> dict[str, str]:
 
 
 class BWaveRApp:
-    """The WSGI callable."""
+    """The WSGI callable.
 
-    def __init__(self, background_jobs: bool = False):
-        self.jobs = JobManager()
+    ``fault_plan`` / ``job_policy`` / ``retry_policy`` configure the
+    fault-tolerance behaviour of every job (a JSON submission may
+    override the plan per job via a ``fault_plan`` object field);
+    ``max_body_bytes`` caps uploads — oversized requests get HTTP 413
+    without the body ever being read.
+    """
+
+    def __init__(
+        self,
+        background_jobs: bool = False,
+        fault_plan: FaultPlan | None = None,
+        job_policy: JobPolicy | None = None,
+        retry_policy: RetryPolicy | None = None,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    ):
+        self.jobs = JobManager(
+            fault_plan=fault_plan, policy=job_policy, retry_policy=retry_policy
+        )
         self.background_jobs = background_jobs
+        self.max_body_bytes = int(max_body_bytes)
 
     # -- WSGI entry ---------------------------------------------------------
 
@@ -145,7 +167,8 @@ class BWaveRApp:
             job = self.jobs.get(int(m.group(1)))
             if job is None:
                 return self._json(404, {"error": f"no job {m.group(1)}"})
-            if job.status.value != "done":
+            # Degraded jobs carry complete, correct results (CPU fallback).
+            if job.status.value not in ("done", "degraded"):
                 return self._json(409, {"error": f"job is {job.status.value}"})
             return (
                 "200 OK",
@@ -163,7 +186,7 @@ class BWaveRApp:
             job = self.jobs.get(int(m.group(1)))
             if job is None:
                 return self._json(404, {"error": f"no job {m.group(1)}"})
-            if job.status.value != "done":
+            if job.status.value not in ("done", "degraded"):
                 return self._json(409, {"error": f"job is {job.status.value}"})
             return (
                 "200 OK",
@@ -185,8 +208,19 @@ class BWaveRApp:
             length = int(environ.get("CONTENT_LENGTH") or 0)
         except ValueError:
             length = 0
+        if length > self.max_body_bytes:
+            # Reject before reading: an oversized declared body must not
+            # be buffered into host memory at all.
+            return self._json(
+                413,
+                {
+                    "error": f"request body of {length} B exceeds the "
+                    f"{self.max_body_bytes} B limit"
+                },
+            )
         body = environ["wsgi.input"].read(length) if length else b""
         ctype = environ.get("CONTENT_TYPE", "")
+        fault_plan = None
         if ctype.startswith("application/json"):
             try:
                 payload = json.loads(body.decode("utf-8"))
@@ -199,6 +233,14 @@ class BWaveRApp:
             b = payload.get("b", 15)
             sf = payload.get("sf", 50)
             device = payload.get("device", "fpga")
+            plan_doc = payload.get("fault_plan")
+            if plan_doc is not None:
+                if not isinstance(plan_doc, dict):
+                    raise WebAppError("fault_plan must be a JSON object")
+                try:
+                    fault_plan = FaultPlan.from_dict(plan_doc)
+                except (TypeError, ValueError) as exc:
+                    raise WebAppError(f"invalid fault_plan: {exc}") from exc
         elif ctype.startswith("multipart/form-data"):
             fields = parse_multipart(body, ctype)
             reference = fields.get("reference_fasta")
@@ -228,13 +270,15 @@ class BWaveRApp:
             sf=sf_i,
             device=device,  # type: ignore[arg-type]
             background=self.background_jobs,
+            fault_plan=fault_plan,
         )
         return self._json(201, job.summary())
 
     @staticmethod
     def _json(code: int, doc: dict) -> tuple[str, list, bytes]:
         reasons = {200: "OK", 201: "Created", 400: "Bad Request",
-                   404: "Not Found", 409: "Conflict", 500: "Internal Server Error"}
+                   404: "Not Found", 409: "Conflict",
+                   413: "Payload Too Large", 500: "Internal Server Error"}
         return (
             f"{code} {reasons.get(code, 'Unknown')}",
             [("Content-Type", "application/json; charset=utf-8")],

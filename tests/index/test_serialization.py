@@ -54,6 +54,71 @@ class TestRoundTrip:
         assert loaded.backend.store_sentinel_in_tree is True
 
 
+def _rewrite_zip_member(path, member, mutate):
+    """Rewrite one raw member of the .npz (zip) archive through ``mutate``."""
+    import zipfile
+
+    with zipfile.ZipFile(path) as z:
+        blobs = {n: z.read(n) for n in z.namelist()}
+    blobs[member] = mutate(blobs[member])
+    with zipfile.ZipFile(path, "w") as z:
+        for name, blob in blobs.items():
+            z.writestr(name, blob)
+
+
+class TestIntegrity:
+    def test_archives_carry_checksums(self, small_text, tmp_index_path):
+        import json
+
+        index, _ = build_index(small_text, sf=8)
+        save_index(index, tmp_index_path)
+        with np.load(tmp_index_path) as data:
+            meta = json.loads(bytes(data["meta_json"]).decode())
+        assert set(meta["array_crc32"]) == {"bwt_codes", "dollar_pos", "sa"}
+
+    def test_bit_flip_detected(self, small_text, tmp_index_path):
+        index, _ = build_index(small_text, sf=8)
+        save_index(index, tmp_index_path)
+
+        def flip(blob):
+            raw = bytearray(blob)
+            raw[-5] ^= 0xFF  # payload byte, past the .npy header
+            return bytes(raw)
+
+        _rewrite_zip_member(tmp_index_path, "sa.npy", flip)
+        with pytest.raises(IndexFormatError, match="checksum mismatch"):
+            load_index(tmp_index_path)
+
+    def test_truncated_file_raises_format_error(self, small_text, tmp_index_path):
+        index, _ = build_index(small_text, sf=8)
+        save_index(index, tmp_index_path)
+        raw = tmp_index_path.read_bytes()
+        tmp_index_path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(IndexFormatError):
+            load_index(tmp_index_path)
+
+    def test_garbage_file_raises_format_error(self, tmp_index_path):
+        tmp_index_path.write_bytes(b"not a zip archive at all")
+        with pytest.raises(IndexFormatError):
+            load_index(tmp_index_path)
+
+    def test_legacy_archive_without_checksums_loads(self, small_text, tmp_index_path):
+        import json
+
+        index, _ = build_index(small_text, sf=8)
+        save_index(index, tmp_index_path)
+        with np.load(tmp_index_path) as data:
+            arrays = dict(data)
+        meta = json.loads(bytes(arrays["meta_json"]).decode())
+        del meta["array_crc32"]
+        arrays["meta_json"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        ).copy()
+        np.savez(tmp_index_path, **arrays)
+        loaded = load_index(tmp_index_path)
+        assert loaded.count(small_text[10:30]) == index.count(small_text[10:30])
+
+
 class TestErrors:
     def test_missing_field(self, tmp_index_path):
         np.savez(tmp_index_path, bogus=np.zeros(3))

@@ -1,0 +1,404 @@
+"""Fault-injection framework and recovery-ladder tests.
+
+Covers the injector (determinism, budget), each detection surface (BRAM
+CRC, transfer CRC/length, stuck events, kernel hangs, result-record
+sanity), the accelerator's retry → reprogram → CPU-fallback ladder, and
+the web pipeline's DEGRADED terminal state — including the acceptance
+scenario: injected faults are detected and the final results stay
+bit-identical to a clean CPU run.
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro import build_index
+from repro.faults import (
+    BramIntegrityError,
+    DeviceTimeoutError,
+    FaultError,
+    FaultPlan,
+    KernelHangError,
+    RetryPolicy,
+    TransferError,
+    ResultValidationError,
+    crc32_of,
+    validate_result_records,
+)
+from repro.fpga.accelerator import FPGAAccelerator
+from repro.fpga.bram import BramModel
+from repro.fpga.device import DeviceState
+from repro.fpga.kernel import BackwardSearchKernel
+from repro.fpga.opencl import CommandQueue, Context
+from repro.mapper.mapper import Mapper
+from repro.web.jobs import JobManager, JobStatus
+from repro.web.server import BWaveRApp
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(19)
+    text = "".join("ACGT"[c] for c in rng.integers(0, 4, 1500))
+    index, _ = build_index(text, b=15, sf=8)
+    reads = [text[i : i + 40] for i in range(0, 1200, 97)]
+    return index, text, reads
+
+
+def wsgi(app, method, path, body=b"", ctype="application/json"):
+    out = {}
+
+    def start_response(status, headers):
+        out["status"] = status
+
+    env = {
+        "REQUEST_METHOD": method,
+        "PATH_INFO": path,
+        "CONTENT_LENGTH": str(len(body)),
+        "CONTENT_TYPE": ctype,
+        "wsgi.input": io.BytesIO(body),
+    }
+    chunks = app(env, start_response)
+    return out["status"], b"".join(chunks)
+
+
+class TestFaultPlan:
+    def test_from_spec(self):
+        plan = FaultPlan.from_spec(
+            "transfer_corrupt_prob=0.5,max_faults=3,bram_flips_per_upset=2", seed=9
+        )
+        assert plan.seed == 9
+        assert plan.transfer_corrupt_prob == 0.5
+        assert plan.max_faults == 3
+        assert plan.bram_flips_per_upset == 2
+        assert plan.any_faults
+
+    def test_from_spec_none_budget(self):
+        assert FaultPlan.from_spec("max_faults=none").max_faults is None
+
+    def test_from_spec_rejects_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown fault plan field"):
+            FaultPlan.from_spec("bogus=1")
+
+    def test_from_dict_rejects_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown fault plan field"):
+            FaultPlan.from_dict({"transfer_corrupt_prob": 1.0, "nope": 2})
+
+    def test_empty_plan_injects_nothing(self):
+        inj = FaultPlan().injector()
+        data = np.arange(64, dtype=np.uint8)
+        assert inj.corrupt_transfer(data) is data
+        assert not inj.stick_event()
+        assert not inj.hang_kernel()
+        assert inj.total_injected == 0
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_decisions(self):
+        plan = FaultPlan(seed=5, transfer_corrupt_prob=0.5, stuck_event_prob=0.3)
+        data = np.arange(256, dtype=np.uint8)
+
+        def drive(inj):
+            trace = []
+            for _ in range(50):
+                trace.append(crc32_of(inj.corrupt_transfer(data)))
+                trace.append(inj.stick_event())
+            return trace, dict(inj.injected)
+
+        t1, c1 = drive(plan.injector())
+        t2, c2 = drive(plan.injector())
+        assert t1 == t2
+        assert c1 == c2
+        assert sum(c1.values()) > 0
+
+    def test_max_faults_budget(self):
+        inj = FaultPlan(seed=0, transfer_corrupt_prob=1.0, max_faults=2).injector()
+        data = np.arange(64, dtype=np.uint8)
+        for _ in range(10):
+            inj.corrupt_transfer(data)
+        assert inj.total_injected == 2
+        # Budget exhausted: data passes through untouched.
+        assert inj.corrupt_transfer(data) is data
+
+
+class TestBramIntegrity:
+    def test_crc_detects_flip_and_restore_recovers(self):
+        bram = BramModel()
+        bank = bram.allocate("C", 64, data=np.arange(8, dtype=np.int64))
+        bank.verify()
+        bank.contents[3] ^= 0x10
+        with pytest.raises(BramIntegrityError, match="bit upset"):
+            bank.verify()
+        bank.restore()
+        bank.verify()
+
+    def test_injector_upset_is_detected(self):
+        bram = BramModel()
+        bram.allocate("partial", 128, data=np.arange(16, dtype=np.int64))
+        inj = FaultPlan(seed=2, bram_flip_prob=1.0).injector()
+        assert inj.upset_bram(bram)
+        with pytest.raises(BramIntegrityError):
+            bram.verify_integrity()
+        assert bram.reprogram() >= 1
+        bram.verify_integrity()
+
+    def test_kernel_checks_banks_on_access(self, setup):
+        index, _, reads = setup
+        inj = FaultPlan(seed=3, bram_flip_prob=1.0).injector()
+        kernel = BackwardSearchKernel(index.backend, injector=inj)
+        assert inj.upset_bram(kernel.bram)
+        from repro.mapper.query import pack_queries
+
+        with pytest.raises(BramIntegrityError):
+            kernel.execute(pack_queries(reads[:2]))
+
+
+class TestTransferChecks:
+    def test_corrupted_write_detected(self):
+        plan = FaultPlan(seed=1, transfer_corrupt_prob=1.0)
+        ctx = Context()
+        queue = CommandQueue(ctx, injector=plan.injector())
+        buf = ctx.create_buffer(64)
+        with pytest.raises(TransferError, match="CRC32"):
+            queue.enqueue_write_buffer(buf, np.arange(64, dtype=np.uint8))
+
+    def test_truncated_read_detected(self):
+        plan = FaultPlan(seed=1, transfer_truncate_prob=1.0)
+        ctx = Context()
+        queue = CommandQueue(ctx, injector=plan.injector())
+        buf = ctx.create_buffer(64)
+        buf.fill_from_device(np.arange(64, dtype=np.uint8))
+        with pytest.raises(TransferError, match="short"):
+            queue.enqueue_read_buffer(buf)
+
+    def test_clean_transfers_pass(self):
+        ctx = Context()
+        queue = CommandQueue(ctx, injector=FaultPlan().injector())
+        buf = ctx.create_buffer(64)
+        data = np.arange(64, dtype=np.uint8)
+        queue.enqueue_write_buffer(buf, data)
+        ev = queue.enqueue_read_buffer(buf)
+        assert np.array_equal(np.asarray(ev.wait()), data)
+
+    def test_stuck_event_times_out(self):
+        plan = FaultPlan(seed=4, stuck_event_prob=1.0)
+        ctx = Context()
+        queue = CommandQueue(ctx, injector=plan.injector())
+        buf = ctx.create_buffer(64)
+        buf.fill_from_device(np.arange(64, dtype=np.uint8))
+        ev = queue.enqueue_read_buffer(buf)
+        with pytest.raises(DeviceTimeoutError, match="never completed"):
+            ev.wait()
+
+
+class TestKernelFaults:
+    def test_kernel_hang(self, setup):
+        index, _, reads = setup
+        inj = FaultPlan(seed=6, kernel_hang_prob=1.0).injector()
+        kernel = BackwardSearchKernel(index.backend, injector=inj)
+        from repro.mapper.query import pack_queries
+
+        with pytest.raises(KernelHangError):
+            kernel.execute(pack_queries(reads[:2]))
+
+    def test_garbled_result_fails_validation(self, setup):
+        index, _, reads = setup
+        inj = FaultPlan(seed=8, result_garble_prob=1.0).injector()
+        kernel = BackwardSearchKernel(index.backend, injector=inj)
+        from repro.mapper.query import pack_queries
+
+        run = kernel.execute(pack_queries(reads[:4]))
+        with pytest.raises(ResultValidationError):
+            validate_result_records(run.result_array().reshape(-1, 4), kernel.n_rows)
+
+
+class TestResultValidation:
+    def test_clean_records_pass(self):
+        validate_result_records(np.array([[0, 5, 2, 2], [7, 7, 0, 9]]), n_rows=9)
+        validate_result_records(np.empty((0, 4), dtype=np.int64), n_rows=9)
+
+    def test_out_of_range(self):
+        with pytest.raises(ResultValidationError, match="outside"):
+            validate_result_records(np.array([[0, 5, 2, 100]]), n_rows=9)
+        with pytest.raises(ResultValidationError, match="outside"):
+            validate_result_records(np.array([[-1, 5, 2, 3]]), n_rows=9)
+
+    def test_inverted_interval(self):
+        with pytest.raises(ResultValidationError, match="start > end"):
+            validate_result_records(np.array([[5, 2, 0, 0]]), n_rows=9)
+
+    def test_bad_shape(self):
+        with pytest.raises(ResultValidationError, match="shape"):
+            validate_result_records(np.arange(6).reshape(2, 3), n_rows=9)
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            backoff_base_seconds=0.01, backoff_factor=2.0, backoff_max_seconds=0.05
+        )
+        assert policy.backoff_seconds(1) == pytest.approx(0.01)
+        assert policy.backoff_seconds(2) == pytest.approx(0.02)
+        assert policy.backoff_seconds(10) == pytest.approx(0.05)
+
+
+class TestRecoveryLadder:
+    """The acceptance scenario: inject, detect, recover, stay bit-identical."""
+
+    def _clean_intervals(self, index, reads):
+        run = FPGAAccelerator.for_index(index).map_batch(reads)
+        return [
+            (o.query_id, o.fwd_start, o.fwd_end, o.rc_start, o.rc_end)
+            for o in run.kernel_run.outcomes
+        ]
+
+    def test_transient_burst_recovers_bit_identical(self, setup):
+        index, _, reads = setup
+        clean = self._clean_intervals(index, reads)
+        plan = FaultPlan(
+            seed=7, bram_flip_prob=1.0, transfer_corrupt_prob=0.4, max_faults=3
+        )
+        acc = FPGAAccelerator.for_index(
+            index, fault_plan=plan, retry_policy=RetryPolicy(max_retries=6)
+        )
+        run = acc.map_batch(reads)
+        faulty = [
+            (o.query_id, o.fwd_start, o.fwd_end, o.rc_start, o.rc_end)
+            for o in run.kernel_run.outcomes
+        ]
+        assert faulty == clean
+        assert not run.degraded
+        assert run.retries > 0
+        assert acc.injector.total_injected > 0
+        assert sum(run.fault_counts.values()) > 0
+        assert run.modeled_fault_overhead_seconds > 0
+        # Overhead lands on the modeled time, exactly once.
+        assert run.breakdown["total_seconds"] == pytest.approx(run.modeled_seconds)
+
+    def test_hard_failure_degrades_to_cpu_fallback(self, setup):
+        index, _, reads = setup
+        clean = self._clean_intervals(index, reads)
+        plan = FaultPlan(seed=1, transfer_corrupt_prob=1.0)  # unbounded faults
+        acc = FPGAAccelerator.for_index(
+            index, fault_plan=plan, retry_policy=RetryPolicy(max_retries=2)
+        )
+        run = acc.map_batch(reads)
+        assert run.degraded
+        assert acc.health.state is DeviceState.FAILED
+        faulty = [
+            (o.query_id, o.fwd_start, o.fwd_end, o.rc_start, o.rc_end)
+            for o in run.kernel_run.outcomes
+        ]
+        assert faulty == clean
+
+    def test_reprogram_after_consecutive_faults(self, setup):
+        index, _, reads = setup
+        plan = FaultPlan(seed=11, bram_flip_prob=1.0, max_faults=3)
+        acc = FPGAAccelerator.for_index(
+            index,
+            fault_plan=plan,
+            retry_policy=RetryPolicy(max_retries=8, reprogram_after=2),
+        )
+        run = acc.map_batch(reads)
+        assert not run.degraded
+        assert run.reprograms >= 1
+        assert acc.health.resets >= 1
+
+    def test_no_cpu_fallback_raises(self, setup):
+        index, _, reads = setup
+        plan = FaultPlan(seed=1, transfer_corrupt_prob=1.0)
+        acc = FPGAAccelerator.for_index(
+            index,
+            fault_plan=plan,
+            retry_policy=RetryPolicy(max_retries=1, cpu_fallback=False),
+        )
+        with pytest.raises(FaultError):
+            acc.map_batch(reads)
+
+    def test_fallback_matches_host_mapper(self, setup):
+        index, _, reads = setup
+        plan = FaultPlan(seed=1, transfer_corrupt_prob=1.0)
+        acc = FPGAAccelerator.for_index(
+            index, fault_plan=plan, retry_policy=RetryPolicy(max_retries=0)
+        )
+        run = acc.map_batch(reads)
+        assert run.degraded
+        sw = Mapper(index, locate=False).map_reads(reads)
+        for outcome, result in zip(run.kernel_run.outcomes, sw):
+            assert outcome.mapped == result.mapped
+
+
+class TestWebFaultTolerance:
+    REF_LEN = 1600
+
+    @pytest.fixture(scope="class")
+    def uploads(self):
+        rng = np.random.default_rng(23)
+        ref = "".join("ACGT"[c] for c in rng.integers(0, 4, self.REF_LEN))
+        reads = [ref[i * 31 : i * 31 + 40] for i in range(12)]
+        fq = "".join(
+            f"@r{i}\n{r}\n+\n{'I' * len(r)}\n" for i, r in enumerate(reads)
+        )
+        return f">ref\n{ref}\n", fq
+
+    def test_degraded_job_serves_correct_results(self, uploads):
+        ref_fa, fq = uploads
+        clean = JobManager().submit(
+            reference_fasta=ref_fa, reads_fastq=fq, sf=8, device="fpga"
+        )
+        assert clean.status is JobStatus.DONE
+
+        mgr = JobManager(retry_policy=RetryPolicy(max_retries=1))
+        job = mgr.submit(
+            reference_fasta=ref_fa,
+            reads_fastq=fq,
+            sf=8,
+            device="fpga",
+            fault_plan=FaultPlan(seed=1, transfer_corrupt_prob=1.0),
+        )
+        assert job.status is JobStatus.DEGRADED
+        assert job.degraded_reason
+        assert sum(job.fault_counts.values()) > 0
+        assert job.results_tsv == clean.results_tsv  # bit-identical output
+
+    def test_degraded_status_via_http(self, uploads):
+        ref_fa, fq = uploads
+        app = BWaveRApp(retry_policy=RetryPolicy(max_retries=1))
+        payload = {
+            "reference_fasta": ref_fa,
+            "reads_fastq": fq,
+            "sf": 8,
+            "device": "fpga",
+            "fault_plan": {"seed": 1, "transfer_corrupt_prob": 1.0},
+        }
+        status, body = wsgi(app, "POST", "/jobs", json.dumps(payload).encode())
+        assert status.startswith("201")
+        doc = json.loads(body)
+        assert doc["status"] == "degraded"
+        assert doc["fault_counts"]
+        assert doc["retries"] > 0
+        # Degraded results stay downloadable.
+        status, body = wsgi(app, "GET", f"/jobs/{doc['job_id']}/results")
+        assert status.startswith("200")
+        assert body.startswith(b"read\t")
+
+    def test_invalid_fault_plan_is_400(self, uploads):
+        ref_fa, fq = uploads
+        app = BWaveRApp()
+        payload = {
+            "reference_fasta": ref_fa,
+            "reads_fastq": fq,
+            "fault_plan": {"bogus_knob": 1.0},
+        }
+        status, body = wsgi(app, "POST", "/jobs", json.dumps(payload).encode())
+        assert status.startswith("400")
+        assert b"fault_plan" in body
+
+    def test_oversized_body_is_413(self, uploads):
+        ref_fa, fq = uploads
+        app = BWaveRApp(max_body_bytes=16)
+        payload = json.dumps({"reference_fasta": ref_fa, "reads_fastq": fq}).encode()
+        status, body = wsgi(app, "POST", "/jobs", payload)
+        assert status.startswith("413")
+        assert b"exceeds" in body

@@ -4,16 +4,22 @@ import time
 
 import pytest
 
-from repro.web.jobs import JobManager, JobStatus
+from repro.faults import FaultPlan, RetryPolicy
+from repro.web.jobs import JobManager, JobPolicy, JobStatus
 
 REF = ">bg demo\n" + "ACGTAGGCTTAACGTCCATGAG" * 40 + "\n"
 FQ = "@r1\nACGTAGGCTTAACGTCCATGAG\n+\nIIIIIIIIIIIIIIIIIIIIII\n"
+
+#: A fault scenario no retry budget survives (every transfer corrupted).
+HARD_FAULTS = FaultPlan(seed=1, transfer_corrupt_prob=1.0)
+
+TERMINAL = (JobStatus.DONE, JobStatus.ERROR, JobStatus.DEGRADED)
 
 
 def wait_for(job, timeout=30.0):
     deadline = time.time() + timeout
     while time.time() < deadline:
-        if job.status in (JobStatus.DONE, JobStatus.ERROR):
+        if job.status in TERMINAL:
             return job
         time.sleep(0.02)
     raise TimeoutError(f"job stuck in {job.status}")
@@ -53,5 +59,93 @@ class TestBackgroundJobs:
         # Whatever phase we catch it in, the summary must be serializable.
         summary = job.summary()
         assert summary["job_id"] == job.job_id
-        assert summary["status"] in {"queued", "running", "done", "error"}
+        assert summary["status"] in {"queued", "running", "done", "error", "degraded"}
         wait_for(job)
+
+
+class TestFaultedLifecycle:
+    def test_background_job_degrades_not_errors(self):
+        mgr = JobManager(retry_policy=RetryPolicy(max_retries=1))
+        job = mgr.submit(
+            reference_fasta=REF, reads_fastq=FQ, sf=4, background=True,
+            fault_plan=HARD_FAULTS,
+        )
+        wait_for(job)
+        assert job.status == JobStatus.DEGRADED
+        assert job.error == ""  # degraded is success-with-caveats, not failure
+        assert job.degraded_reason
+        assert job.n_mapped == 1
+        assert job.results_tsv.startswith("read\t")
+        assert sum(job.fault_counts.values()) > 0
+        assert job.retries > 0
+
+    def test_recoverable_faults_complete_done(self):
+        mgr = JobManager(retry_policy=RetryPolicy(max_retries=6))
+        job = mgr.submit(
+            reference_fasta=REF, reads_fastq=FQ, sf=4, background=True,
+            fault_plan=FaultPlan(seed=7, transfer_corrupt_prob=0.5, max_faults=2),
+        )
+        wait_for(job)
+        assert job.status == JobStatus.DONE
+        assert not job.degraded
+        assert job.n_mapped == 1
+
+    def test_concurrent_faulted_submissions_isolated(self):
+        mgr = JobManager(retry_policy=RetryPolicy(max_retries=1))
+        faulted = [
+            mgr.submit(
+                reference_fasta=REF, reads_fastq=FQ, sf=4, background=True,
+                fault_plan=HARD_FAULTS,
+            )
+            for _ in range(2)
+        ]
+        clean = mgr.submit(reference_fasta=REF, reads_fastq=FQ, sf=4, background=True)
+        for job in faulted:
+            wait_for(job)
+            assert job.status == JobStatus.DEGRADED
+        wait_for(clean)
+        # A manager-wide default would have degraded this one too.
+        assert clean.status == JobStatus.DONE
+        assert clean.results_tsv == faulted[0].results_tsv
+
+    def test_job_level_retry_budget_counts_attempts(self):
+        mgr = JobManager(
+            policy=JobPolicy(max_map_attempts=3),
+            retry_policy=RetryPolicy(max_retries=0, cpu_fallback=False),
+        )
+        job = mgr.submit(
+            reference_fasta=REF, reads_fastq=FQ, sf=4, fault_plan=HARD_FAULTS
+        )
+        assert job.status == JobStatus.DEGRADED
+        assert job.map_attempts == 3
+        assert job.retries >= 3
+
+
+class TestStageDeadlines:
+    def test_build_deadline_errors_with_failed_stage(self):
+        mgr = JobManager(policy=JobPolicy(stage_deadline_seconds=0.0))
+        job = mgr.submit(reference_fasta=REF, reads_fastq=FQ, sf=4)
+        assert job.status == JobStatus.ERROR
+        assert "StageDeadlineExceeded" in job.error
+        assert job.failed_stage
+        assert job.failed_at is not None
+        # Regression: failure bookkeeping must not pollute the timing dict.
+        assert "failed_at" not in job.stage_seconds
+
+    def test_mapping_deadline_degrades(self):
+        mgr = JobManager(
+            policy=JobPolicy(
+                stage_deadline_seconds={"sequence_mapping": 0.0},
+                max_map_attempts=2,
+            )
+        )
+        job = mgr.submit(reference_fasta=REF, reads_fastq=FQ, sf=4, device="fpga")
+        assert job.status == JobStatus.DEGRADED
+        assert job.fault_counts.get("StageDeadlineExceeded") == 2
+        assert job.n_mapped == 1  # CPU fallback still produced results
+
+    def test_no_deadline_by_default(self):
+        job = JobManager().submit(reference_fasta=REF, reads_fastq=FQ, sf=4)
+        assert job.status == JobStatus.DONE
+        assert job.failed_stage == ""
+        assert job.failed_at is None
