@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 
 
@@ -279,6 +280,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0  # pragma: no cover - serve() blocks
 
 
+def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("telemetry")
+    g.add_argument(
+        "--metrics-out", type=Path, default=None,
+        help="write a Prometheus text snapshot of the run's metrics here",
+    )
+    g.add_argument(
+        "--trace-out", type=Path, default=None,
+        help="write a Chrome/Perfetto trace (JSON) of the run's spans here",
+    )
+    g.add_argument(
+        "--log-json", type=Path, default=None,
+        help="append structured JSON log lines (one object per line) here",
+    )
+
+
+@contextmanager
+def _telemetry_session(args: argparse.Namespace):
+    """Enable telemetry for the command when any output flag was given,
+    and write the requested artifacts when the command finishes."""
+    metrics_out = getattr(args, "metrics_out", None)
+    trace_out = getattr(args, "trace_out", None)
+    log_json = getattr(args, "log_json", None)
+    if metrics_out is None and trace_out is None and log_json is None:
+        yield
+        return
+    from .telemetry import Telemetry, correlate, new_run_id, set_telemetry
+
+    log_fh = open(log_json, "a") if log_json is not None else None
+    tel = Telemetry(enabled=True, log_stream=log_fh)
+    set_telemetry(tel)
+    try:
+        with correlate(run_id=new_run_id()):
+            yield
+    finally:
+        set_telemetry(Telemetry(enabled=False))
+        if metrics_out is not None:
+            Path(metrics_out).write_text(tel.metrics.prometheus_text())
+            print(f"telemetry: metrics snapshot -> {metrics_out}")
+        if trace_out is not None:
+            with open(trace_out, "w") as fh:
+                n = tel.tracer.write_chrome_trace(fh)
+            print(f"telemetry: chrome trace ({n} slices) -> {trace_out}")
+        if log_fh is not None:
+            log_fh.close()
+            print(f"telemetry: json log -> {log_json}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="bwaver-repro",
@@ -294,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=["rrr", "occ"], default="rrr")
     p.add_argument("--locate", choices=["full", "sampled", "none"], default="full")
     p.add_argument("--on-invalid", choices=["error", "skip", "random"], default="error")
+    _add_telemetry_args(p)
     p.set_defaults(func=_cmd_index)
 
     p = sub.add_parser("map", help="map a FASTQ read set against an index")
@@ -319,6 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cpu-fallback", action="store_true",
         help="raise instead of degrading to the CPU mapper",
     )
+    _add_telemetry_args(p)
     p.set_defaults(func=_cmd_map)
 
     p = sub.add_parser("inspect", help="print index parameters and validate")
@@ -350,7 +401,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    with _telemetry_session(args):
+        return args.func(args)
 
 
 if __name__ == "__main__":

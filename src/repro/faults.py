@@ -38,6 +38,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .telemetry import get_telemetry
+
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a package cycle
     from .fpga.bram import BramModel
 
@@ -212,6 +214,14 @@ class FaultInjector:
         if self.rng.random() >= prob:
             return False
         self.injected[kind] = self.injected.get(kind, 0) + 1
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter(
+                "fault_injected_total",
+                "Faults the injector actually put in, by kind",
+                labelnames=("kind",),
+            ).inc(kind=kind)
+            tel.tracer.instant(f"fault.injected.{kind}", cat="fault")
         return True
 
     # -- injection points ------------------------------------------------------

@@ -43,6 +43,7 @@ from ..faults import (
 from ..index.fm_index import FMIndex
 from ..mapper.query import pack_queries
 from ..sequence.alphabet import reverse_complement
+from ..telemetry import correlate, get_telemetry, new_run_id
 from .cost_model import DEFAULT_COST_MODEL, FPGACostModel
 from .device import ALVEO_U200, DeviceHealth, DeviceSpec
 from .kernel import BackwardSearchKernel, KernelRun, QueryOutcome
@@ -165,11 +166,32 @@ class FPGAAccelerator:
         accelerator's :class:`~repro.faults.RetryPolicy`; results are
         bit-identical to a clean run whether a batch succeeded on the
         device or degraded to the CPU path.
+
+        When telemetry is enabled the run is traced (one span per batch,
+        the modeled device timeline merged onto the same trace) and its
+        fault/retry/fallback ledger is mirrored into the metrics
+        registry.
         """
         reads = list(reads)
+        tel = get_telemetry()
+        if not tel.enabled:
+            return self._map_batch_impl(reads, batch_size, include_load, tel)
+        with correlate(run_id=new_run_id()):
+            with tel.span(
+                "fpga.map_batch", cat="fpga",
+                n_reads=len(reads), batch_size=batch_size,
+            ):
+                run = self._map_batch_impl(reads, batch_size, include_load, tel)
+            self._record_run_telemetry(tel, run)
+        return run
+
+    def _map_batch_impl(
+        self, reads: list, batch_size: int, include_load: bool, tel
+    ) -> AcceleratorRun:
         queue = CommandQueue(
             self.context, cost_model=self.cost_model, injector=self.injector
         )
+        queue_anchor_us = tel.tracer.now_us()
         t0 = time.perf_counter()
         fault_events: list[FaultEvent] = []
         retries = 0
@@ -179,7 +201,8 @@ class FPGAAccelerator:
         device_ok = True
 
         if include_load:
-            ok, program_stats = self._program_with_recovery(queue)
+            with tel.span("fpga.program", cat="fpga", structure_bytes=self.structure_bytes):
+                ok, program_stats = self._program_with_recovery(queue)
             device_ok = ok
             fault_events.extend(program_stats["events"])
             retries += program_stats["retries"]
@@ -193,23 +216,37 @@ class FPGAAccelerator:
         hw_total = 0
         sw_total = 0
         op_counts: dict[str, int] = {}
-        for start in range(0, len(reads), batch_size):
+        for batch_index, start in enumerate(range(0, len(reads), batch_size)):
             chunk = reads[start : start + batch_size]
-            if device_ok:
-                run, stats = self._run_batch_with_recovery(queue, chunk, start)
+            if tel.enabled:
+                with correlate(batch=batch_index), tel.span(
+                    "fpga.batch", cat="fpga", batch_index=batch_index,
+                    n_reads=len(chunk),
+                    path="device" if device_ok else "cpu_fallback",
+                ):
+                    run, stats = self._dispatch_batch(queue, chunk, start, device_ok)
+            else:
+                run, stats = self._dispatch_batch(queue, chunk, start, device_ok)
+            if stats is not None:
                 fault_events.extend(stats["events"])
                 retries += stats["retries"]
                 reprograms += stats["reprograms"]
                 overhead_s += stats["overhead_s"]
                 degraded |= stats["degraded"]
-            else:
-                run = self._cpu_pass(chunk, start)
             all_outcomes.extend(run.outcomes)
             hw_total += run.hw_steps_total
             sw_total += run.sw_steps_total
             for k, v in run.op_counts.items():
                 op_counts[k] = op_counts.get(k, 0) + v
         queue.finish()
+        if tel.enabled:
+            # Put the modeled device timeline on the tracer's clock so
+            # application spans and h2d/kernel/d2h slices render together.
+            from .tracing import to_trace_events
+
+            tel.tracer.add_raw_events(
+                to_trace_events(queue, ts_offset_us=queue_anchor_us)
+            )
         host_wall = time.perf_counter() - t0
         if degraded:
             self.health.mark_failed()
@@ -248,6 +285,64 @@ class FPGAAccelerator:
             fault_counts=fault_counts,
             fault_events=fault_events,
             modeled_fault_overhead_seconds=overhead_s,
+        )
+
+    def _dispatch_batch(
+        self, queue: CommandQueue, chunk: list, start: int, device_ok: bool
+    ) -> tuple[KernelRun, dict | None]:
+        """One batch through the device ladder, or straight to the CPU."""
+        if device_ok:
+            return self._run_batch_with_recovery(queue, chunk, start)
+        return self._cpu_pass(chunk, start), None
+
+    def _record_run_telemetry(self, tel, run: AcceleratorRun) -> None:
+        """Mirror the run's fault/retry/fallback ledger into the registry."""
+        m = tel.metrics
+        m.counter("fpga_runs_total", "Accelerator mapping runs").inc()
+        m.counter("fpga_reads_total", "Reads mapped through the accelerator").inc(
+            run.n_reads
+        )
+        # Declare the ladder counters eagerly so a clean run still exposes
+        # them (at zero) next to the fault-path metrics.
+        retries = m.counter("fpga_retries_total", "Batch retries after detected faults")
+        if run.retries:
+            retries.inc(run.retries)
+        reprograms = m.counter(
+            "fpga_reprograms_total", "Device reset + structure reloads"
+        )
+        if run.reprograms:
+            reprograms.inc(run.reprograms)
+        fallbacks = m.counter(
+            "fpga_cpu_fallbacks_total", "Runs degraded to the CPU mapper"
+        )
+        if run.degraded:
+            fallbacks.inc()
+        detected = m.counter(
+            "fault_detected_total",
+            "Faults caught by the runtime's integrity checks, by kind",
+            labelnames=("kind",),
+        )
+        for kind, count in run.fault_counts.items():
+            detected.inc(count, kind=kind)
+        seconds = m.counter(
+            "fpga_modeled_stage_seconds_total",
+            "Modeled device seconds by pipeline stage",
+            labelnames=("stage",),
+        )
+        seconds.inc(run.modeled_load_seconds, stage="load")
+        seconds.inc(run.modeled_kernel_seconds, stage="kernel")
+        seconds.inc(run.modeled_transfer_seconds, stage="transfer")
+        seconds.inc(run.modeled_fault_overhead_seconds, stage="fault_overhead")
+        tel.log.info(
+            "fpga.map_batch.done",
+            n_reads=run.n_reads,
+            modeled_seconds=run.modeled_seconds,
+            host_wall_seconds=run.host_wall_seconds,
+            degraded=run.degraded,
+            retries=run.retries,
+            reprograms=run.reprograms,
+            fault_counts=run.fault_counts,
+            device_state=self.health.state.value,
         )
 
     # -- recovery ladder -------------------------------------------------------
@@ -385,6 +480,15 @@ class FPGAAccelerator:
         stats["events"].append(
             FaultEvent(kind=kind, stage=stage, attempt=attempt, detail=str(exc))
         )
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.tracer.instant(
+                f"fault.detected.{kind}", cat="fault", stage=stage, attempt=attempt
+            )
+            tel.log.warning(
+                "fault.detected", kind=kind, stage=stage, attempt=attempt,
+                detail=str(exc),
+            )
 
     def _backoff(self, stats: dict, attempt: int) -> None:
         seconds = self.retry_policy.backoff_seconds(attempt)

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from ..telemetry import get_telemetry
+
 
 @dataclass(frozen=True)
 class DeviceSpec:
@@ -88,24 +90,56 @@ class DeviceHealth:
     resets: int = 0
     fault_kinds: dict[str, int] = field(default_factory=dict)
 
+    def _transition(self, new_state: DeviceState) -> None:
+        """Move to ``new_state``, recording the edge in the registry."""
+        if new_state is self.state:
+            return
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter(
+                "device_state_transitions_total",
+                "DeviceHealth state machine edges",
+                labelnames=("from_state", "to_state"),
+            ).inc(from_state=self.state.value, to_state=new_state.value)
+            tel.metrics.gauge(
+                "device_state",
+                "Device condition (0=ok, 1=faulty, 2=failed)",
+            ).set({"ok": 0, "faulty": 1, "failed": 2}[new_state.value])
+            tel.tracer.instant(
+                f"device.{new_state.value}", cat="fault", from_state=self.state.value
+            )
+        self.state = new_state
+
     def record_fault(self, kind: str) -> None:
         self.consecutive_faults += 1
         self.total_faults += 1
         self.fault_kinds[kind] = self.fault_kinds.get(kind, 0) + 1
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter(
+                "device_faults_total",
+                "Detected device faults by kind",
+                labelnames=("kind",),
+            ).inc(kind=kind)
         if self.state is DeviceState.OK:
-            self.state = DeviceState.FAULTY
+            self._transition(DeviceState.FAULTY)
 
     def record_success(self) -> None:
         self.consecutive_faults = 0
         if self.state is DeviceState.FAULTY:
-            self.state = DeviceState.OK
+            self._transition(DeviceState.OK)
 
     def record_reset(self) -> None:
         self.resets += 1
         self.consecutive_faults = 0
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter(
+                "device_resets_total", "Device reset + reprogram recoveries"
+            ).inc()
 
     def mark_failed(self) -> None:
-        self.state = DeviceState.FAILED
+        self._transition(DeviceState.FAILED)
 
     def to_dict(self) -> dict:
         return {

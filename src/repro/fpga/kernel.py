@@ -28,6 +28,7 @@ from ..faults import FaultInjector, KernelHangError
 from ..index.fm_index import FMIndex
 from ..mapper.query import unpack_queries
 from ..sequence.alphabet import reverse_complement
+from ..telemetry import get_telemetry
 from .bram import BramModel
 from .device import ALVEO_U200, DeviceSpec
 
@@ -209,6 +210,19 @@ class BackwardSearchKernel:
                     rc_steps=bad.rc_steps,
                 )
         self._charge_bram(scope.delta)
+        tel = get_telemetry()
+        if tel.enabled:
+            m = tel.metrics
+            m.counter(
+                "fpga_kernel_invocations_total", "Kernel executions on the model"
+            ).inc()
+            m.counter(
+                "fpga_kernel_reads_total", "Query records processed by the kernel"
+            ).inc(len(outcomes))
+            m.counter(
+                "fpga_hw_steps_total",
+                "Hardware pipeline steps (max of the two strands per record)",
+            ).inc(hw_total)
         return KernelRun(
             outcomes=outcomes,
             hw_steps_total=hw_total,

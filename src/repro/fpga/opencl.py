@@ -36,6 +36,7 @@ from typing import Callable
 import numpy as np
 
 from ..faults import DeviceTimeoutError, FaultInjector, TransferError, crc32_of
+from ..telemetry import get_telemetry
 from .cost_model import DEFAULT_COST_MODEL, FPGACostModel
 from .device import ALVEO_U200, DeviceSpec
 
@@ -158,12 +159,31 @@ class CommandQueue:
         ):
             ev._stuck = True
         self.events.append(ev)
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter(
+                "fpga_commands_total",
+                "Commands scheduled on the modeled device queue",
+                labelnames=("command",),
+            ).inc(command=command.value)
+            tel.metrics.counter(
+                "fpga_modeled_seconds_total",
+                "Modeled device seconds by command type",
+                labelnames=("command",),
+            ).inc(ev.duration_seconds, command=command.value)
         return ev
 
     def _transfer(self, data: np.ndarray, direction: str) -> np.ndarray:
         """Model the wire: CRC the source, let the injector corrupt the
         in-flight copy, verify length + CRC on arrival."""
         src_bytes = np.ascontiguousarray(data).tobytes()
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter(
+                "fpga_transfer_bytes_total",
+                "Host<->device bytes put on the modeled wire",
+                labelnames=("direction",),
+            ).inc(len(src_bytes), direction=direction)
         arrived = data if self.injector is None else self.injector.corrupt_transfer(data)
         if arrived.nbytes != len(src_bytes):
             raise TransferError(

@@ -24,13 +24,33 @@ _TID_BY_COMMAND = {
     CommandType.KERNEL: 2,
     CommandType.READ_BUFFER: 3,
 }
-_TRACK_NAMES = {1: "h2d transfers", 2: "kernel", 3: "d2h transfers"}
+#: Fallback track for command types this module doesn't know yet — new
+#: CommandType members must render, not KeyError.
+_TID_MISC = 99
+_TRACK_NAMES = {1: "h2d transfers", 2: "kernel", 3: "d2h transfers", _TID_MISC: "misc"}
 
 
-def to_trace_events(queue: CommandQueue) -> list[dict]:
-    """The queue's events as Chrome trace dicts (timestamps in µs)."""
+def _command_label(command) -> str:
+    """The command's wire name; tolerates non-enum stand-ins."""
+    return str(getattr(command, "value", command))
+
+
+def to_trace_events(queue: CommandQueue, ts_offset_us: float = 0.0) -> list[dict]:
+    """The queue's events as Chrome trace dicts (timestamps in µs).
+
+    ``ts_offset_us`` shifts the modeled device timeline (which starts at
+    zero when the queue is created) so it can be merged onto an
+    application tracer's clock — pass the tracer's ``now_us()`` sampled
+    at queue creation.
+    """
     out: list[dict] = []
+    used_tids = {
+        _TID_BY_COMMAND.get(ev.command, _TID_MISC) for ev in queue.events
+    }
     for tid, name in _TRACK_NAMES.items():
+        # The misc track only materializes when something landed on it.
+        if tid == _TID_MISC and _TID_MISC not in used_tids:
+            continue
         out.append(
             {
                 "ph": "M",
@@ -41,14 +61,15 @@ def to_trace_events(queue: CommandQueue) -> list[dict]:
             }
         )
     for i, ev in enumerate(queue.events):
+        label = _command_label(ev.command)
         out.append(
             {
                 "ph": "X",
                 "pid": _PID_DEVICE,
-                "tid": _TID_BY_COMMAND[ev.command],
-                "name": f"{ev.command.value}#{i}",
-                "cat": ev.command.value,
-                "ts": ev.profile_start / 1e3,
+                "tid": _TID_BY_COMMAND.get(ev.command, _TID_MISC),
+                "name": f"{label}#{i}",
+                "cat": label,
+                "ts": ts_offset_us + ev.profile_start / 1e3,
                 "dur": max(0.001, (ev.profile_end - ev.profile_start) / 1e3),
                 "args": {
                     "queued_ns": ev.profile_queued,
@@ -71,7 +92,8 @@ def timeline_summary(queue: CommandQueue) -> dict[str, float]:
     """Per-category busy time and the bound resource."""
     busy = {c.value: 0.0 for c in CommandType}
     for ev in queue.events:
-        busy[ev.command.value] += ev.duration_seconds
+        label = _command_label(ev.command)
+        busy[label] = busy.get(label, 0.0) + ev.duration_seconds
     total = queue.device_time_ns / 1e9
     bound = max(busy, key=lambda k: busy[k]) if any(busy.values()) else "idle"
     return {**busy, "total_seconds": total, "bound_by": bound}  # type: ignore[dict-item]

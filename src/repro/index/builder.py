@@ -29,6 +29,7 @@ from ..sequence.alphabet import encode
 from ..sequence.bwt import BWT, bwt_from_codes, entropy0, run_length_stats
 from ..sequence.sampled_sa import FullSA, SampledSA
 from ..sequence.suffix_array import Method, suffix_array
+from ..telemetry import get_telemetry
 from .fm_index import FMIndex
 from .occ_table import OccTable
 
@@ -90,47 +91,78 @@ def build_index(
     """
     codes = encode(text) if isinstance(text, str) else np.asarray(text, dtype=np.uint8)
 
-    t0 = time.perf_counter()
-    sa = suffix_array(codes, method=sa_method)
-    bwt = bwt_from_codes(codes, sa=sa)
-    t1 = time.perf_counter()
+    tel = get_telemetry()
+    with tel.span("index.build", text_length=int(codes.size), b=b, sf=sf, backend=backend):
+        t0 = time.perf_counter()
+        with tel.span("index.sa_bwt", cat="index"):
+            sa = suffix_array(codes, method=sa_method)
+            bwt = bwt_from_codes(codes, sa=sa)
+        t1 = time.perf_counter()
 
-    if backend == "rrr":
-        struct = BWTStructure(
-            bwt,
+        with tel.span("index.encode", cat="index"):
+            if backend == "rrr":
+                struct = BWTStructure(
+                    bwt,
+                    b=b,
+                    sf=sf,
+                    store_sentinel_in_tree=store_sentinel_in_tree,
+                    counters=counters,
+                )
+            elif backend == "occ":
+                struct = OccTable(
+                    bwt, checkpoint_words=occ_checkpoint_words, counters=counters
+                )
+            else:
+                raise ValueError(f"unknown backend {backend!r}")
+        t2 = time.perf_counter()
+
+        if locate == "full":
+            loc = FullSA(sa)
+        elif locate == "sampled":
+            loc = SampledSA(sa, k=sa_sample_rate)
+        elif locate == "none":
+            loc = None
+        else:
+            raise ValueError(f"unknown locate structure {locate!r}")
+
+        index = FMIndex(struct, locate_structure=loc, counters=counters)
+        sym = bwt.symbols_without_sentinel()
+        report = BuildReport(
+            text_length=int(codes.size),
             b=b,
             sf=sf,
-            store_sentinel_in_tree=store_sentinel_in_tree,
-            counters=counters,
+            backend=backend,
+            sa_bwt_seconds=t1 - t0,
+            encode_seconds=t2 - t1,
+            structure_bytes=struct.size_in_bytes(),
+            uncompressed_bytes=bwt.length,
+            bwt_entropy0=entropy0(sym) if sym.size else 0.0,
+            bwt_runs=run_length_stats(bwt),
         )
-    elif backend == "occ":
-        struct = OccTable(bwt, checkpoint_words=occ_checkpoint_words, counters=counters)
-    else:
-        raise ValueError(f"unknown backend {backend!r}")
-    t2 = time.perf_counter()
-
-    if locate == "full":
-        loc = FullSA(sa)
-    elif locate == "sampled":
-        loc = SampledSA(sa, k=sa_sample_rate)
-    elif locate == "none":
-        loc = None
-    else:
-        raise ValueError(f"unknown locate structure {locate!r}")
-
-    index = FMIndex(struct, locate_structure=loc, counters=counters)
-    sym = bwt.symbols_without_sentinel()
-    report = BuildReport(
-        text_length=int(codes.size),
+    m = tel.metrics
+    m.counter("index_builds_total", "Index builds completed").inc()
+    m.histogram(
+        "index_build_stage_seconds",
+        "Wall seconds per index build stage",
+        labelnames=("stage",),
+    ).observe(report.sa_bwt_seconds, stage="sa_bwt")
+    m.histogram(
+        "index_build_stage_seconds",
+        "Wall seconds per index build stage",
+        labelnames=("stage",),
+    ).observe(report.encode_seconds, stage="encode")
+    m.gauge(
+        "index_structure_bytes", "Succinct structure size of the last build"
+    ).set(report.structure_bytes)
+    tel.log.info(
+        "index.build.done",
+        text_length=report.text_length,
         b=b,
         sf=sf,
         backend=backend,
-        sa_bwt_seconds=t1 - t0,
-        encode_seconds=t2 - t1,
-        structure_bytes=struct.size_in_bytes(),
-        uncompressed_bytes=bwt.length,
-        bwt_entropy0=entropy0(sym) if sym.size else 0.0,
-        bwt_runs=run_length_stats(bwt),
+        sa_bwt_seconds=report.sa_bwt_seconds,
+        encode_seconds=report.encode_seconds,
+        structure_bytes=report.structure_bytes,
     )
     return index, report
 

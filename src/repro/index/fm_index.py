@@ -36,6 +36,7 @@ import numpy as np
 from ..core.counters import GLOBAL_COUNTERS, OpCounters
 from ..sequence.alphabet import encode
 from ..sequence.sampled_sa import FullSA, SampledSA
+from ..telemetry import get_telemetry
 
 SIGMA = 4
 
@@ -209,6 +210,14 @@ class FMIndex:
             emptied = cur & (lo >= hi)
             hi[emptied] = lo[emptied]
             active &= ~emptied
+        tel = get_telemetry()
+        if tel.enabled:
+            m = tel.metrics
+            m.counter("fm_search_batches_total", "Vectorized search batches").inc()
+            m.counter("fm_queries_total", "Queries through batched search").inc(nq)
+            m.counter(
+                "fm_bs_steps_total", "Backward-search steps (batched path)"
+            ).inc(int(steps.sum()))
         return lo, hi, steps
 
     def count_batch(self, patterns: Sequence) -> np.ndarray:

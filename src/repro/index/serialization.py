@@ -22,6 +22,7 @@ before the checksum field are still readable (no CRCs to verify).
 from __future__ import annotations
 
 import json
+import time
 import zlib
 from pathlib import Path
 
@@ -31,6 +32,7 @@ from ..core.bwt_structure import BWTStructure
 from ..core.counters import OpCounters
 from ..sequence.bwt import BWT
 from ..sequence.sampled_sa import FullSA, SampledSA
+from ..telemetry import get_telemetry
 from .fm_index import FMIndex
 from .occ_table import OccTable
 
@@ -235,5 +237,13 @@ def _build_index_from(
 def load_index(path: str | Path, counters: OpCounters | None = None) -> FMIndex:
     """Load an archive written by :func:`save_index` and rebuild the index."""
     path = Path(path)
-    meta, arrays = _read_archive(path)
-    return _build_index_from(meta, arrays, counters)
+    tel = get_telemetry()
+    with tel.span("index.load", path=str(path)):
+        t0 = time.perf_counter()
+        meta, arrays = _read_archive(path)
+        index = _build_index_from(meta, arrays, counters)
+        tel.metrics.counter("index_loads_total", "Index archives loaded").inc()
+        tel.metrics.histogram(
+            "index_load_seconds", "Wall seconds spent loading index archives"
+        ).observe(time.perf_counter() - t0)
+    return index

@@ -18,6 +18,7 @@ from typing import Sequence
 
 from ..core.counters import CounterScope, OpCounters
 from ..index.fm_index import FMIndex
+from ..telemetry import get_telemetry
 from .mapper import Mapper
 from .results import MappingResult, mapping_ratio
 
@@ -56,10 +57,18 @@ def run_mapping_batch(
     """
     mapper = Mapper(index, locate=locate)
     counters = index.counters
-    with CounterScope(counters) as scope:
-        t0 = time.perf_counter()
-        results = mapper.map_reads(reads, batch=batch)
-        wall = time.perf_counter() - t0
+    tel = get_telemetry()
+    with tel.span("mapper.batch_run", cat="mapper", n_reads=len(reads)):
+        with CounterScope(counters) as scope:
+            t0 = time.perf_counter()
+            results = mapper.map_reads(reads, batch=batch)
+            wall = time.perf_counter() - t0
+    if tel.enabled:
+        m = tel.metrics
+        m.counter("mapper_batch_runs_total", "Measured batch mapping runs").inc()
+        m.histogram(
+            "mapper_batch_seconds", "Wall seconds per measured batch run"
+        ).observe(wall)
     return BatchRunReport(
         n_reads=len(reads),
         read_length=len(reads[0]) if reads else 0,

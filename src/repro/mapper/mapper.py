@@ -17,6 +17,7 @@ import numpy as np
 
 from ..index.fm_index import FMIndex, SearchResult
 from ..sequence.alphabet import reverse_complement
+from ..telemetry import get_telemetry
 from .results import MappingResult, StrandHit
 
 
@@ -83,24 +84,32 @@ class Mapper:
                 self.map_read(s, read_id=i, read_name=names[i] if names else None)
                 for i, s in enumerate(sequences)
             ]
-        seqs = list(sequences)
-        rcs = [reverse_complement(s) for s in seqs]
-        lo, hi, steps = self.index.search_batch(seqs + rcs)
-        n = len(seqs)
-        out: list[MappingResult] = []
-        for i, s in enumerate(seqs):
-            fwd = SearchResult(start=int(lo[i]), end=int(hi[i]), steps=int(steps[i]))
-            rc = SearchResult(
-                start=int(lo[n + i]), end=int(hi[n + i]), steps=int(steps[n + i])
-            )
-            out.append(
-                MappingResult(
-                    read_id=i,
-                    read_name=names[i] if names else f"read{i}",
-                    length=len(s),
-                    forward=StrandHit(fwd, self._positions(fwd)),
-                    reverse=StrandHit(rc, self._positions(rc)),
+        tel = get_telemetry()
+        with tel.span("mapper.map_reads", cat="mapper", n_reads=len(sequences)):
+            seqs = list(sequences)
+            rcs = [reverse_complement(s) for s in seqs]
+            lo, hi, steps = self.index.search_batch(seqs + rcs)
+            n = len(seqs)
+            out: list[MappingResult] = []
+            for i, s in enumerate(seqs):
+                fwd = SearchResult(start=int(lo[i]), end=int(hi[i]), steps=int(steps[i]))
+                rc = SearchResult(
+                    start=int(lo[n + i]), end=int(hi[n + i]), steps=int(steps[n + i])
                 )
+                out.append(
+                    MappingResult(
+                        read_id=i,
+                        read_name=names[i] if names else f"read{i}",
+                        length=len(s),
+                        forward=StrandHit(fwd, self._positions(fwd)),
+                        reverse=StrandHit(rc, self._positions(rc)),
+                    )
+                )
+        if tel.enabled:
+            m = tel.metrics
+            m.counter("mapper_reads_total", "Reads mapped (both strands)").inc(n)
+            m.counter("mapper_mapped_reads_total", "Reads with at least one hit").inc(
+                sum(1 for r in out if r.mapped)
             )
         return out
 

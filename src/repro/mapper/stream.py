@@ -18,6 +18,7 @@ from typing import IO, Callable, Iterable, Iterator
 
 from ..core.counters import CounterScope
 from ..index.fm_index import FMIndex
+from ..telemetry import correlate, get_telemetry
 from .mapper import Mapper
 from .results import MappingResult
 
@@ -56,22 +57,42 @@ def map_stream(
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
     mapper = Mapper(index, locate=locate)
+    tel = get_telemetry()
     batch: list[str] = []
     offset = 0
+    batch_index = 0
     for read in reads:
         batch.append(read)
         if len(batch) == batch_size:
-            results = _map_offset(mapper, batch, offset)
+            results = _map_stream_batch(tel, mapper, batch, offset, batch_index)
             offset += len(batch)
             batch = []
+            batch_index += 1
             if on_batch is not None:
                 on_batch(results)
             yield results
     if batch:
-        results = _map_offset(mapper, batch, offset)
+        results = _map_stream_batch(tel, mapper, batch, offset, batch_index)
         if on_batch is not None:
             on_batch(results)
         yield results
+
+
+def _map_stream_batch(tel, mapper: Mapper, batch: list[str], offset: int,
+                      batch_index: int) -> list[MappingResult]:
+    """One stream batch under its correlation id and span."""
+    if not tel.enabled:
+        return _map_offset(mapper, batch, offset)
+    with correlate(batch=batch_index):
+        with tel.span(
+            "mapper.stream_batch", cat="mapper",
+            batch_index=batch_index, n_reads=len(batch),
+        ):
+            results = _map_offset(mapper, batch, offset)
+    tel.metrics.counter(
+        "mapper_stream_batches_total", "Batches through the streaming mapper"
+    ).inc()
+    return results
 
 
 def _map_offset(mapper: Mapper, batch: list[str], offset: int) -> list[MappingResult]:

@@ -1,0 +1,51 @@
+"""Correlation ids threaded through spans, metrics and log lines.
+
+Every unit of work in the stack — a CLI invocation, a web job, one
+device batch — gets a correlation id; spans and structured log lines
+emitted underneath automatically carry the ids active at that point, so
+one mapping run can be followed from the HTTP submission through the
+index build down to individual kernel batches.
+
+Ids live in a :class:`contextvars.ContextVar`, which respects both
+threads and the synchronous call stack: a web job running on a daemon
+thread sees only its own ``job_id``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import uuid
+from collections.abc import Iterator
+from contextvars import ContextVar
+
+#: Active correlation ids, as an immutable tuple of (key, value) pairs so
+#: nested ``correlate()`` scopes restore cleanly on exit.
+_CORRELATION: ContextVar[tuple[tuple[str, object], ...]] = ContextVar(
+    "repro_telemetry_correlation", default=()
+)
+
+
+def new_run_id() -> str:
+    """A fresh short correlation id (12 hex chars)."""
+    return uuid.uuid4().hex[:12]
+
+
+def correlation_ids() -> dict[str, object]:
+    """The correlation ids active in the calling context."""
+    return dict(_CORRELATION.get())
+
+
+@contextlib.contextmanager
+def correlate(**ids: object) -> Iterator[dict[str, object]]:
+    """Bind correlation ids for the duration of the ``with`` block.
+
+    Nested scopes merge (inner keys shadow outer ones) and unwind on
+    exit.  Yields the merged mapping for convenience.
+    """
+    merged = dict(_CORRELATION.get())
+    merged.update(ids)
+    token = _CORRELATION.set(tuple(merged.items()))
+    try:
+        yield merged
+    finally:
+        _CORRELATION.reset(token)

@@ -1,0 +1,69 @@
+"""Structured (JSON-lines) logging with correlation ids.
+
+One line per event, each a self-contained JSON object::
+
+    {"ts": 1722873600.123, "level": "info", "event": "web.job.done",
+     "job_id": 3, "run_id": "9f1c2d...", "n_reads": 1000}
+
+Correlation ids active in the calling context (see
+:mod:`repro.telemetry.context`) are merged into every line, which is
+what lets a log aggregator stitch the CLI/web, index and device layers
+of one run back together.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import IO
+
+from .context import correlation_ids
+
+
+class JsonLogger:
+    """Thread-safe JSON-lines writer."""
+
+    def __init__(self, stream: IO[str]):
+        self._stream = stream
+        self._lock = threading.Lock()
+        self.lines_written = 0
+
+    def log(self, event: str, level: str = "info", **fields: object) -> None:
+        doc: dict[str, object] = {"ts": time.time(), "level": level, "event": event}
+        doc.update(correlation_ids())
+        doc.update(fields)
+        line = json.dumps(doc, default=str)
+        with self._lock:
+            self._stream.write(line + "\n")
+            self.lines_written += 1
+
+    def info(self, event: str, **fields: object) -> None:
+        self.log(event, level="info", **fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self.log(event, level="warning", **fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self.log(event, level="error", **fields)
+
+
+class NullLogger:
+    """Logger twin handed out when telemetry (or the log sink) is off."""
+
+    lines_written = 0
+
+    def log(self, event: str, level: str = "info", **fields: object) -> None:
+        pass
+
+    def info(self, event: str, **fields: object) -> None:
+        pass
+
+    def warning(self, event: str, **fields: object) -> None:
+        pass
+
+    def error(self, event: str, **fields: object) -> None:
+        pass
+
+
+NULL_LOGGER = NullLogger()

@@ -1,0 +1,66 @@
+"""The telemetry facade and the process-global instance.
+
+Instrumented code across the stack asks for the active telemetry via
+:func:`get_telemetry` and talks to three members:
+
+* ``metrics`` — a :class:`~repro.telemetry.metrics.MetricsRegistry`;
+* ``tracer`` — a :class:`~repro.telemetry.tracing.Tracer`;
+* ``log`` — a :class:`~repro.telemetry.logs.JsonLogger`.
+
+The default global instance is **disabled**: all three members are
+shared null singletons whose every method is a constant-time no-op, so
+the hot paths pay one function call and one attribute read when nothing
+is listening.  ``configure(enabled=True, ...)`` installs a live
+instance (the web app does this on construction; the CLI does it when
+any of ``--metrics-out`` / ``--trace-out`` / ``--log-json`` is given).
+"""
+
+from __future__ import annotations
+
+from typing import IO
+
+from .logs import NULL_LOGGER, JsonLogger, NullLogger
+from .metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
+from .tracing import NULL_TRACER, NullTracer, Tracer
+
+
+class Telemetry:
+    """One bundle of registry + tracer + structured logger."""
+
+    def __init__(self, enabled: bool = False, log_stream: IO[str] | None = None):
+        self.enabled = bool(enabled)
+        self.metrics: MetricsRegistry | NullRegistry = (
+            MetricsRegistry() if self.enabled else NULL_REGISTRY
+        )
+        self.tracer: Tracer | NullTracer = (
+            Tracer() if self.enabled else NULL_TRACER
+        )
+        self.log: JsonLogger | NullLogger = (
+            JsonLogger(log_stream)
+            if (self.enabled and log_stream is not None)
+            else NULL_LOGGER
+        )
+
+    def span(self, name: str, cat: str = "app", **args: object):
+        """Shorthand for ``self.tracer.span(...)``."""
+        return self.tracer.span(name, cat=cat, **args)
+
+
+_GLOBAL = Telemetry(enabled=False)
+
+
+def get_telemetry() -> Telemetry:
+    """The process-global telemetry (disabled no-op by default)."""
+    return _GLOBAL
+
+
+def set_telemetry(telemetry: Telemetry) -> Telemetry:
+    """Install ``telemetry`` globally; returns it for chaining."""
+    global _GLOBAL
+    _GLOBAL = telemetry
+    return telemetry
+
+
+def configure(enabled: bool = True, log_stream: IO[str] | None = None) -> Telemetry:
+    """Create and install a fresh global telemetry instance."""
+    return set_telemetry(Telemetry(enabled=enabled, log_stream=log_stream))

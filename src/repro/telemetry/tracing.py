@@ -1,0 +1,188 @@
+"""Span tracer exporting to the Chrome Trace Event format.
+
+Spans time host-side work — index build, search batches, transfers,
+whole web jobs — and nest naturally: a span opened inside another span
+on the same thread renders as a child slice in Perfetto /
+``chrome://tracing``.  The export speaks the same JSON dialect as
+:mod:`repro.fpga.tracing`, so the modeled device timeline (h2d / kernel
+/ d2h tracks on its own pid) and the application spans land in one file
+and one timeline.
+
+Application spans live on ``pid 0``; each OS thread gets its own track.
+Timestamps are microseconds relative to the tracer's epoch
+(``perf_counter`` at construction), which is what the device-event
+merge anchors against (:meth:`Tracer.add_raw_events` with the offset the
+caller sampled via :meth:`Tracer.now_us`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import IO
+
+from .context import correlation_ids
+
+#: The application's process id in the trace (the device model uses 1).
+PID_APP = 0
+
+
+class _SpanHandle:
+    """Context manager for one span; records the slice on exit."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_t0_us")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self._t0_us = 0.0
+
+    def __enter__(self) -> "_SpanHandle":
+        self._t0_us = self._tracer.now_us()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        end_us = self._tracer.now_us()
+        args = {**correlation_ids(), **self.args}
+        self._tracer._record(
+            {
+                "ph": "X",
+                "pid": PID_APP,
+                "tid": self._tracer._tid(),
+                "name": self.name,
+                "cat": self.cat,
+                "ts": self._t0_us,
+                "dur": max(0.001, end_us - self._t0_us),
+                "args": args,
+            }
+        )
+        return False
+
+
+class Tracer:
+    """Collects spans and instants; merges foreign (device) events."""
+
+    def __init__(self) -> None:
+        self._epoch_ns = time.perf_counter_ns()
+        self._lock = threading.Lock()
+        self._events: list[dict] = []
+        self._tids: dict[int, int] = {}
+
+    # -- clock -----------------------------------------------------------------
+
+    def now_us(self) -> float:
+        """Microseconds since the tracer's epoch."""
+        return (time.perf_counter_ns() - self._epoch_ns) / 1e3
+
+    # -- recording -------------------------------------------------------------
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            with self._lock:
+                tid = self._tids.setdefault(ident, len(self._tids) + 1)
+                self._events.append(
+                    {
+                        "ph": "M",
+                        "pid": PID_APP,
+                        "tid": tid,
+                        "name": "thread_name",
+                        "args": {"name": threading.current_thread().name},
+                    }
+                )
+        return tid
+
+    def _record(self, event: dict) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def span(self, name: str, cat: str = "app", **args: object) -> _SpanHandle:
+        """A context manager timing one nested slice of work."""
+        return _SpanHandle(self, name, cat, dict(args))
+
+    def instant(self, name: str, cat: str = "app", **args: object) -> None:
+        """A zero-duration marker (fault detections, state transitions)."""
+        self._record(
+            {
+                "ph": "i",
+                "pid": PID_APP,
+                "tid": self._tid(),
+                "name": name,
+                "cat": cat,
+                "ts": self.now_us(),
+                "s": "t",
+                "args": {**correlation_ids(), **args},
+            }
+        )
+
+    def add_raw_events(self, events: list[dict]) -> None:
+        """Merge pre-built Chrome events (the modeled device timeline)."""
+        with self._lock:
+            self._events.extend(events)
+
+    # -- export ----------------------------------------------------------------
+
+    def chrome_events(self) -> list[dict]:
+        with self._lock:
+            events = list(self._events)
+        meta = [
+            {
+                "ph": "M",
+                "pid": PID_APP,
+                "name": "process_name",
+                "args": {"name": "application"},
+            }
+        ]
+        return meta + events
+
+    def write_chrome_trace(self, fh: IO[str]) -> int:
+        """Write the merged trace JSON; returns the number of slices."""
+        events = self.chrome_events()
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fh)
+        return sum(1 for e in events if e.get("ph") == "X")
+
+
+# -- disabled-mode twin --------------------------------------------------------
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracer twin handed out when telemetry is disabled."""
+
+    def now_us(self) -> float:
+        return 0.0
+
+    def span(self, name: str, cat: str = "app", **args: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def instant(self, name: str, cat: str = "app", **args: object) -> None:
+        pass
+
+    def add_raw_events(self, events: list[dict]) -> None:
+        pass
+
+    def chrome_events(self) -> list[dict]:
+        return []
+
+    def write_chrome_trace(self, fh: IO[str]) -> int:
+        json.dump({"traceEvents": [], "displayTimeUnit": "ms"}, fh)
+        return 0
+
+
+NULL_TRACER = NullTracer()

@@ -41,6 +41,7 @@ from ..io.fasta import read_fasta_str
 from ..io.fastq import read_fastq_str
 from ..mapper.mapper import Mapper
 from ..mapper.results import mapping_ratio, write_hits_tsv
+from ..telemetry import correlate, get_telemetry
 
 Device = Literal["cpu", "fpga"]
 
@@ -179,6 +180,21 @@ class JobManager:
         self.fault_plan = fault_plan
         self.policy = policy if policy is not None else JobPolicy()
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        #: Health snapshot of the device used by the most recent FPGA job
+        #: (what ``GET /healthz`` reports).
+        self.last_device_health: dict | None = None
+
+    def counts_by_status(self) -> dict[str, int]:
+        """Job tallies per lifecycle state (the /healthz queue view)."""
+        counts = {status.value: 0 for status in JobStatus}
+        for job in self._jobs.values():
+            counts[job.status.value] += 1
+        return counts
+
+    def queue_depth(self) -> int:
+        """Jobs submitted but not yet in a terminal state."""
+        counts = self.counts_by_status()
+        return counts["queued"] + counts["running"]
 
     def submit(
         self,
@@ -219,8 +235,15 @@ class JobManager:
 
     def _run(self, job: Job) -> None:
         job.status = JobStatus.RUNNING
+        tel = get_telemetry()
+        gauge = tel.metrics.gauge("web_jobs_running", "Jobs currently executing")
+        gauge.inc()
         try:
-            self._execute(job)
+            with correlate(job_id=job.job_id):
+                with tel.span(
+                    "web.job", cat="web", job_id=job.job_id, device=job.device,
+                ):
+                    self._execute(job)
             job.status = JobStatus.DEGRADED if job.degraded else JobStatus.DONE
         except Exception as exc:  # surface any stage failure on the job
             job.status = JobStatus.ERROR
@@ -230,6 +253,29 @@ class JobManager:
             job.results_tsv = ""
             # Keep the traceback server-side for debugging, not in the UI.
             job._traceback = traceback.format_exc()  # type: ignore[attr-defined]
+        finally:
+            gauge.dec()
+            tel.metrics.counter(
+                "web_jobs_total", "Jobs finished, by terminal status",
+                labelnames=("status",),
+            ).inc(status=job.status.value)
+            stage_hist = tel.metrics.histogram(
+                "web_job_stage_seconds", "Wall seconds per job pipeline stage",
+                labelnames=("stage",),
+            )
+            for stage, seconds in job.stage_seconds.items():
+                stage_hist.observe(seconds, stage=stage)
+            tel.log.info(
+                "web.job.finished",
+                job_id=job.job_id,
+                status=job.status.value,
+                device=job.device,
+                n_reads=job.n_reads,
+                n_mapped=job.n_mapped,
+                degraded=job.degraded,
+                retries=job.retries,
+                error=job.error,
+            )
 
     def _check_deadline(self, job: Job, stage: str, elapsed: float) -> None:
         deadline = self.policy.deadline_for(stage)
@@ -240,20 +286,12 @@ class JobManager:
             )
 
     def _execute(self, job: Job) -> None:
+        tel = get_telemetry()
         job._current_stage = "parse_inputs"
         t_parse = time.perf_counter()
-        records = read_fasta_str(job.reference_fasta, on_invalid="random")
-        if not records:
-            raise ValueError("reference FASTA contains no records")
+        with tel.span("web.stage.parse_inputs", cat="web"):
+            records = self._parse_reference(job)
         ref = records[0]
-        if len(records) > 1:
-            raise ValueError(
-                "multi-record references are not supported; upload one sequence"
-            )
-        if not ref.sequence:
-            raise ValueError(f"reference {ref.name!r} is empty")
-        job.reference_name = ref.name
-        job.reference_length = len(ref.sequence)
 
         reads = read_fastq_str(job.reads_fastq)
         if not reads:
@@ -271,7 +309,8 @@ class JobManager:
 
         # Step 1 + 2: build (the builder reports both stage times).
         job._current_stage = "bwt_sa_computation"
-        index, report = build_index(ref.sequence, b=job.b, sf=job.sf)
+        with tel.span("web.stage.build_index", cat="web", b=job.b, sf=job.sf):
+            index, report = build_index(ref.sequence, b=job.b, sf=job.sf)
         job.stage_seconds["bwt_sa_computation"] = report.sa_bwt_seconds
         job.stage_seconds["bwt_encoding"] = report.encode_seconds
         self._check_deadline(job, "bwt_sa_computation", report.sa_bwt_seconds)
@@ -283,13 +322,14 @@ class JobManager:
         seqs = [r.sequence for r in reads]
         names = [r.name for r in reads]
         t0 = time.perf_counter()
-        if job.device == "fpga":
-            self._map_on_device(job, index, seqs)
-        # Final results always come from the host-side locate pass (for
-        # the fpga device this is the paper's host locate step; when the
-        # device degraded, it doubles as the bit-identical CPU fallback).
-        mapper = Mapper(index, locate=True)
-        results = mapper.map_reads(seqs, names=names)
+        with tel.span("web.stage.sequence_mapping", cat="web", device=job.device):
+            if job.device == "fpga":
+                self._map_on_device(job, index, seqs)
+            # Final results always come from the host-side locate pass (for
+            # the fpga device this is the paper's host locate step; when the
+            # device degraded, it doubles as the bit-identical CPU fallback).
+            mapper = Mapper(index, locate=True)
+            results = mapper.map_reads(seqs, names=names)
         elapsed = time.perf_counter() - t0
         job.stage_seconds["sequence_mapping"] = elapsed
         if job.device == "cpu":
@@ -311,6 +351,21 @@ class JobManager:
         )
         job.results_sam = sam_buf.getvalue()
 
+    def _parse_reference(self, job: Job):
+        records = read_fasta_str(job.reference_fasta, on_invalid="random")
+        if not records:
+            raise ValueError("reference FASTA contains no records")
+        ref = records[0]
+        if len(records) > 1:
+            raise ValueError(
+                "multi-record references are not supported; upload one sequence"
+            )
+        if not ref.sequence:
+            raise ValueError(f"reference {ref.name!r} is empty")
+        job.reference_name = ref.name
+        job.reference_length = len(ref.sequence)
+        return records
+
     def _map_on_device(self, job: Job, index, seqs: list[str]) -> None:
         """Device mapping under the job-level retry budget.
 
@@ -325,6 +380,14 @@ class JobManager:
         acc = FPGAAccelerator.for_index(
             index, fault_plan=job.fault_plan, retry_policy=self.retry_policy
         )
+        try:
+            self._run_map_attempts(job, acc, seqs, deadline)
+        finally:
+            self.last_device_health = acc.health.to_dict()
+
+    def _run_map_attempts(
+        self, job: Job, acc: FPGAAccelerator, seqs: list[str], deadline: float | None
+    ) -> None:
         last_failure = ""
         for attempt in range(1, max(1, self.policy.max_map_attempts) + 1):
             job.map_attempts = attempt

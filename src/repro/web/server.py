@@ -13,7 +13,9 @@ offline, so this is a dependency-free WSGI app with the same surface:
 * ``GET /jobs`` — JSON list of jobs;
 * ``GET /jobs/<id>`` — JSON status with the three-step timing breakdown;
 * ``GET /jobs/<id>/results`` — the hits TSV download;
-* ``GET /health`` — liveness probe.
+* ``GET /health`` — liveness probe;
+* ``GET /healthz`` — readiness: device health, queue depth, job counts;
+* ``GET /metrics`` — Prometheus text exposition of the telemetry registry.
 
 Tests drive the app directly through the WSGI callable; ``serve()``
 wraps it in :mod:`wsgiref.simple_server` for interactive use
@@ -29,6 +31,7 @@ import re
 from typing import Callable, Iterable
 
 from ..faults import FaultPlan, RetryPolicy
+from ..telemetry import Telemetry, set_telemetry
 from .jobs import JobManager, JobPolicy
 
 #: Default request-body cap: enough for a gzip+base64 chromosome-scale
@@ -105,6 +108,12 @@ def parse_multipart(body: bytes, content_type: str) -> dict[str, str]:
     return fields
 
 
+def _normalize_route(path: str) -> str:
+    """Collapse path parameters so the request counter stays low-cardinality
+    (``/jobs/3/results`` → ``/jobs/{id}/results``)."""
+    return re.sub(r"/jobs/\d+", "/jobs/{id}", path)
+
+
 class BWaveRApp:
     """The WSGI callable.
 
@@ -113,6 +122,12 @@ class BWaveRApp:
     override the plan per job via a ``fault_plan`` object field);
     ``max_body_bytes`` caps uploads — oversized requests get HTTP 413
     without the body ever being read.
+
+    ``telemetry`` is the :class:`~repro.telemetry.Telemetry` instance the
+    app serves on ``/metrics``.  The default creates an enabled instance
+    and installs it process-wide (:func:`~repro.telemetry.set_telemetry`)
+    so the pipeline layers record into the same registry the endpoint
+    exposes; pass an explicit instance (e.g. a disabled one) to opt out.
     """
 
     def __init__(
@@ -122,7 +137,12 @@ class BWaveRApp:
         job_policy: JobPolicy | None = None,
         retry_policy: RetryPolicy | None = None,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        telemetry: Telemetry | None = None,
     ):
+        if telemetry is None:
+            telemetry = Telemetry(enabled=True)
+            set_telemetry(telemetry)
+        self.telemetry = telemetry
         self.jobs = JobManager(
             fault_plan=fault_plan, policy=job_policy, retry_policy=retry_policy
         )
@@ -140,8 +160,21 @@ class BWaveRApp:
             status, headers, body = self._json(
                 500, {"error": f"{type(exc).__name__}: {exc}"}
             )
+        self._count_request(environ, status)
         start_response(status, headers)
         return [body]
+
+    def _count_request(self, environ: dict, status: str) -> None:
+        tel = self.telemetry
+        if not tel.enabled:
+            return
+        method = environ.get("REQUEST_METHOD", "GET")
+        route = _normalize_route(environ.get("PATH_INFO", "/"))
+        tel.metrics.counter(
+            "http_requests_total",
+            "HTTP requests served, by method/route/status",
+            labelnames=("method", "route", "status"),
+        ).inc(method=method, route=route, status=status.split(" ", 1)[0])
 
     # -- routing ----------------------------------------------------------------
 
@@ -152,6 +185,14 @@ class BWaveRApp:
             return "200 OK", [("Content-Type", "text/html; charset=utf-8")], _FORM_HTML.encode()
         if method == "GET" and path == "/health":
             return self._json(200, {"status": "ok"})
+        if method == "GET" and path == "/healthz":
+            return self._healthz()
+        if method == "GET" and path == "/metrics":
+            return (
+                "200 OK",
+                [("Content-Type", "text/plain; version=0.0.4; charset=utf-8")],
+                self.telemetry.metrics.prometheus_text().encode(),
+            )
         if method == "POST" and path == "/jobs":
             return self._submit(environ)
         if method == "GET" and path == "/jobs":
@@ -202,6 +243,22 @@ class BWaveRApp:
         return self._json(404, {"error": f"no route for {method} {path}"})
 
     # -- handlers ------------------------------------------------------------------
+
+    def _healthz(self) -> tuple[str, list, bytes]:
+        """Readiness document: job queue state + last device health."""
+        counts = self.jobs.counts_by_status()
+        device = self.jobs.last_device_health
+        degraded = device is not None and device.get("state") == "failed"
+        return self._json(
+            200,
+            {
+                "status": "degraded" if degraded else "ok",
+                "telemetry_enabled": self.telemetry.enabled,
+                "queue_depth": self.jobs.queue_depth(),
+                "jobs": counts,
+                "device": device,
+            },
+        )
 
     def _submit(self, environ: dict) -> tuple[str, list, bytes]:
         try:

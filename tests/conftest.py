@@ -58,3 +58,18 @@ def occ_index(small_text):
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
+
+
+@pytest.fixture(autouse=True)
+def _isolate_global_telemetry():
+    """Restore the process-wide telemetry instance after every test.
+
+    Constructing :class:`~repro.web.server.BWaveRApp` (and several
+    telemetry tests) installs an enabled instance globally; without this
+    reset it would leak instrumentation overhead into unrelated tests.
+    """
+    from repro.telemetry import get_telemetry, set_telemetry
+
+    before = get_telemetry()
+    yield
+    set_telemetry(before)

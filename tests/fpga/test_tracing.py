@@ -77,3 +77,57 @@ class TestTimelineSummary:
         q = CommandQueue(Context())
         summary = timeline_summary(q)
         assert summary["total_seconds"] == 0.0
+
+
+class TestUnknownCommandFallback:
+    """New CommandType members (or stand-ins) must render, not KeyError."""
+
+    class _FakeCommand:
+        value = "exotic_op"
+
+    def _queue_with_unknown_event(self):
+        q = CommandQueue(Context())
+        buf = q.context.create_buffer(1 << 10)
+        q.enqueue_write_buffer(buf, np.zeros(16, dtype=np.uint64))
+        ev = q.events[-1]
+        patched = ev.__class__(
+            command=self._FakeCommand(),
+            profile_queued=ev.profile_queued,
+            profile_start=ev.profile_start,
+            profile_end=ev.profile_end,
+        )
+        q.events.append(patched)
+        return q
+
+    def test_unknown_command_lands_on_misc_track(self):
+        q = self._queue_with_unknown_event()
+        events = to_trace_events(q)
+        misc = [e for e in events if e.get("ph") == "X" and e["cat"] == "exotic_op"]
+        assert len(misc) == 1
+        assert misc[0]["tid"] == 99
+        track_names = {
+            e["args"]["name"] for e in events if e.get("name") == "thread_name"
+        }
+        assert "misc" in track_names
+
+    def test_misc_track_metadata_absent_without_misc_events(self, busy_queue):
+        events = to_trace_events(busy_queue)
+        track_names = {
+            e["args"]["name"] for e in events if e.get("name") == "thread_name"
+        }
+        assert "misc" not in track_names
+
+    def test_timeline_summary_tolerates_unknown_commands(self):
+        q = self._queue_with_unknown_event()
+        summary = timeline_summary(q)
+        assert summary["exotic_op"] >= 0.0
+        assert "bound_by" in summary
+
+    def test_ts_offset_shifts_slices(self, busy_queue):
+        base = [e for e in to_trace_events(busy_queue) if e["ph"] == "X"]
+        shifted = [
+            e for e in to_trace_events(busy_queue, ts_offset_us=1000.0)
+            if e["ph"] == "X"
+        ]
+        for b, s in zip(base, shifted):
+            assert s["ts"] == pytest.approx(b["ts"] + 1000.0)

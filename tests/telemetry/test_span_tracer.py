@@ -1,0 +1,176 @@
+"""Unit tests for the span tracer, correlation ids and the trace export."""
+
+import io
+import json
+import threading
+
+from repro.telemetry import (
+    NULL_TRACER,
+    Tracer,
+    correlate,
+    correlation_ids,
+    new_run_id,
+)
+
+
+def _slices(tracer: Tracer) -> list[dict]:
+    return [e for e in tracer.chrome_events() if e.get("ph") == "X"]
+
+
+class TestSpans:
+    def test_span_records_complete_slice(self):
+        t = Tracer()
+        with t.span("work", cat="test", items=3):
+            pass
+        (s,) = _slices(t)
+        assert s["name"] == "work"
+        assert s["cat"] == "test"
+        assert s["pid"] == 0
+        assert s["dur"] > 0
+        assert s["args"]["items"] == 3
+
+    def test_nested_spans_contained_in_parent(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        by_name = {s["name"]: s for s in _slices(t)}
+        outer, inner = by_name["outer"], by_name["inner"]
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-6
+        assert outer["tid"] == inner["tid"]  # same thread, same track
+
+    def test_span_recorded_even_when_body_raises(self):
+        t = Tracer()
+        try:
+            with t.span("failing"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert [s["name"] for s in _slices(t)] == ["failing"]
+
+    def test_threads_get_distinct_tracks_with_names(self):
+        t = Tracer()
+
+        def work():
+            with t.span("threaded"):
+                pass
+
+        th = threading.Thread(target=work, name="worker-thread")
+        th.start()
+        th.join()
+        with t.span("main"):
+            pass
+        tids = {s["tid"] for s in _slices(t)}
+        assert len(tids) == 2
+        thread_names = {
+            e["args"]["name"]
+            for e in t.chrome_events()
+            if e.get("name") == "thread_name"
+        }
+        assert "worker-thread" in thread_names
+
+    def test_instant_marker(self):
+        t = Tracer()
+        t.instant("fault.detected", cat="fault", kind="crc")
+        (i,) = [e for e in t.chrome_events() if e.get("ph") == "i"]
+        assert i["name"] == "fault.detected"
+        assert i["args"]["kind"] == "crc"
+
+
+class TestCorrelation:
+    def test_ids_merge_and_unwind(self):
+        assert correlation_ids() == {}
+        with correlate(run_id="r1"):
+            with correlate(batch=2):
+                assert correlation_ids() == {"run_id": "r1", "batch": 2}
+            assert correlation_ids() == {"run_id": "r1"}
+        assert correlation_ids() == {}
+
+    def test_inner_shadow_outer(self):
+        with correlate(run_id="outer"):
+            with correlate(run_id="inner"):
+                assert correlation_ids()["run_id"] == "inner"
+            assert correlation_ids()["run_id"] == "outer"
+
+    def test_span_args_carry_active_ids(self):
+        t = Tracer()
+        with correlate(run_id="abc", job_id=7):
+            with t.span("correlated"):
+                pass
+        (s,) = _slices(t)
+        assert s["args"]["run_id"] == "abc"
+        assert s["args"]["job_id"] == 7
+
+    def test_thread_isolation(self):
+        seen = {}
+
+        def work():
+            seen["ids"] = correlation_ids()
+
+        with correlate(run_id="main-only"):
+            th = threading.Thread(target=work)
+            th.start()
+            th.join()
+        assert seen["ids"] == {}
+
+    def test_new_run_id_shape(self):
+        a, b = new_run_id(), new_run_id()
+        assert len(a) == 12 and a != b
+        int(a, 16)  # hex
+
+
+class TestChromeExport:
+    def test_round_trip_valid_json(self):
+        t = Tracer()
+        with t.span("a"):
+            pass
+        buf = io.StringIO()
+        n = t.write_chrome_trace(buf)
+        doc = json.loads(buf.getvalue())
+        assert n == 1
+        assert doc["displayTimeUnit"] == "ms"
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases == {"M", "X"}
+
+    def test_merged_device_events_share_timeline(self):
+        """App spans (pid 0) and modeled device slices (pid 1) coexist."""
+        t = Tracer()
+        with t.span("host"):
+            anchor = t.now_us()
+            t.add_raw_events(
+                [
+                    {
+                        "ph": "X",
+                        "pid": 1,
+                        "tid": 2,
+                        "name": "kernel#0",
+                        "cat": "kernel",
+                        "ts": anchor + 1.0,
+                        "dur": 5.0,
+                        "args": {},
+                    }
+                ]
+            )
+        slices = _slices(t)
+        pids = {s["pid"] for s in slices}
+        assert pids == {0, 1}
+        host = next(s for s in slices if s["pid"] == 0)
+        device = next(s for s in slices if s["pid"] == 1)
+        # The device slice was anchored inside the host span.
+        assert host["ts"] <= device["ts"]
+
+
+class TestNullTracer:
+    def test_noop_surface(self):
+        with NULL_TRACER.span("ignored", cat="x", a=1):
+            pass
+        NULL_TRACER.instant("ignored")
+        NULL_TRACER.add_raw_events([{"ph": "X"}])
+        assert NULL_TRACER.chrome_events() == []
+        buf = io.StringIO()
+        assert NULL_TRACER.write_chrome_trace(buf) == 0
+        assert json.loads(buf.getvalue()) == {
+            "traceEvents": [],
+            "displayTimeUnit": "ms",
+        }

@@ -1,0 +1,98 @@
+"""Tests for the telemetry facade, the JSON logger and no-op mode."""
+
+import io
+import json
+
+from repro.telemetry import (
+    NULL_LOGGER,
+    NULL_REGISTRY,
+    NULL_TRACER,
+    JsonLogger,
+    Telemetry,
+    configure,
+    correlate,
+    get_telemetry,
+    set_telemetry,
+)
+
+
+class TestFacade:
+    def test_disabled_instance_uses_shared_null_singletons(self):
+        a = Telemetry(enabled=False)
+        b = Telemetry(enabled=False)
+        assert a.metrics is NULL_REGISTRY is b.metrics
+        assert a.tracer is NULL_TRACER is b.tracer
+        assert a.log is NULL_LOGGER is b.log
+
+    def test_enabled_instance_gets_live_members(self):
+        t = Telemetry(enabled=True)
+        assert t.metrics is not NULL_REGISTRY
+        assert t.tracer is not NULL_TRACER
+        # No log stream given -> logging stays off even when enabled.
+        assert t.log is NULL_LOGGER
+
+    def test_configure_installs_globally(self):
+        t = configure(enabled=True)
+        assert get_telemetry() is t
+        set_telemetry(Telemetry(enabled=False))
+        assert get_telemetry().enabled is False
+
+    def test_span_shorthand(self):
+        t = Telemetry(enabled=True)
+        with t.span("x"):
+            pass
+        assert sum(1 for e in t.tracer.chrome_events() if e.get("ph") == "X") == 1
+
+
+class TestJsonLogger:
+    def test_lines_are_self_contained_json(self):
+        buf = io.StringIO()
+        log = JsonLogger(buf)
+        log.info("evt.one", n=1)
+        log.warning("evt.two", detail="x")
+        lines = buf.getvalue().splitlines()
+        assert log.lines_written == 2
+        docs = [json.loads(line) for line in lines]
+        assert docs[0]["event"] == "evt.one"
+        assert docs[0]["level"] == "info"
+        assert docs[0]["n"] == 1
+        assert "ts" in docs[0]
+        assert docs[1]["level"] == "warning"
+
+    def test_correlation_ids_merged_into_lines(self):
+        buf = io.StringIO()
+        log = JsonLogger(buf)
+        with correlate(run_id="r9", batch=3):
+            log.info("evt")
+        doc = json.loads(buf.getvalue())
+        assert doc["run_id"] == "r9"
+        assert doc["batch"] == 3
+
+    def test_non_json_values_stringified(self):
+        buf = io.StringIO()
+        JsonLogger(buf).info("evt", path=object())
+        json.loads(buf.getvalue())  # must not raise
+
+
+class TestNoOpMode:
+    def test_disabled_run_has_zero_side_effects(self, small_index):
+        """A mapping run with telemetry disabled leaves no telemetry state."""
+        from repro.mapper.mapper import Mapper
+
+        tel = set_telemetry(Telemetry(enabled=False))
+        Mapper(small_index).map_reads(["ACGTACGT", "TTTTTTTT"])
+        assert tel.metrics.snapshot() == {}
+        assert tel.metrics.prometheus_text() == ""
+        assert tel.tracer.chrome_events() == []
+        assert tel.log.lines_written == 0
+
+    def test_disabled_accelerator_run_untouched(self, small_index):
+        from repro.fpga.accelerator import FPGAAccelerator
+
+        tel = set_telemetry(Telemetry(enabled=False))
+        run = FPGAAccelerator.for_index(small_index).map_batch(
+            ["ACGTACGT", "GGGGCCCC"]
+        )
+        assert run.n_reads == 2
+        assert tel.metrics.names() == []
+        assert tel.tracer.chrome_events() == []

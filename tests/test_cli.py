@@ -180,3 +180,65 @@ class TestEndToEndCli:
         assert main(["map", str(idx), str(reads), "-o", str(hits)]) == 0
         out = capsys.readouterr().out
         assert "mapped 24/30" in out
+
+
+class TestTelemetryFlags:
+    def _build(self, workspace, tmp_path):
+        tmp, ref, fasta, fastq, reads = workspace
+        idx = tmp_path / "t.npz"
+        assert main(["index", str(fasta), "-o", str(idx), "-s", "8"]) == 0
+        return idx, fastq
+
+    def test_map_writes_all_three_artifacts(self, workspace, tmp_path, capsys):
+        import json
+
+        idx, fastq = self._build(workspace, tmp_path)
+        metrics = tmp_path / "m.prom"
+        trace = tmp_path / "t.json"
+        log = tmp_path / "l.jsonl"
+        rc = main([
+            "map", str(idx), str(fastq), "-o", str(tmp_path / "h.tsv"),
+            "--device", "fpga",
+            "--metrics-out", str(metrics),
+            "--trace-out", str(trace),
+            "--log-json", str(log),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "telemetry: metrics snapshot" in out
+        text = metrics.read_text()
+        assert "fpga_runs_total 1" in text
+        assert "mapper_reads_total" in text
+        doc = json.loads(trace.read_text())
+        slices = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert {e["pid"] for e in slices} == {0, 1}
+        lines = [json.loads(line) for line in log.read_text().splitlines()]
+        assert lines
+        run_ids = {line["run_id"] for line in lines}
+        assert len(run_ids) >= 1
+
+    def test_index_metrics_out(self, workspace, tmp_path):
+        tmp, ref, fasta, fastq, reads = workspace
+        idx = tmp_path / "i.npz"
+        metrics = tmp_path / "i.prom"
+        assert main(["index", str(fasta), "-o", str(idx), "-s", "8",
+                     "--metrics-out", str(metrics)]) == 0
+        text = metrics.read_text()
+        assert "index_builds_total 1" in text
+        assert "index_structure_bytes" in text
+
+    def test_no_flags_leaves_telemetry_disabled(self, workspace, tmp_path):
+        from repro.telemetry import get_telemetry
+
+        idx, fastq = self._build(workspace, tmp_path)
+        assert main(["map", str(idx), str(fastq),
+                     "-o", str(tmp_path / "h.tsv")]) == 0
+        assert get_telemetry().enabled is False
+
+    def test_session_restores_disabled_default(self, workspace, tmp_path):
+        from repro.telemetry import get_telemetry
+
+        idx, fastq = self._build(workspace, tmp_path)
+        assert main(["map", str(idx), str(fastq), "-o", str(tmp_path / "h.tsv"),
+                     "--metrics-out", str(tmp_path / "m.prom")]) == 0
+        assert get_telemetry().enabled is False

@@ -1,0 +1,155 @@
+"""Tests for the live observability endpoints: /metrics and /healthz."""
+
+import io
+import json
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.telemetry import Telemetry, get_telemetry
+from repro.web.server import BWaveRApp, _normalize_route
+
+REFERENCE = ">ref demo\n" + "ACGTACGGTACCGTTAGCAT" * 40 + "\n"
+READS = (
+    "@r1\nACGTACGGTACC\n+\n############\n"
+    "@r2\nTTTTTTTTTTTT\n+\n############\n"
+)
+
+
+def call(app, method, path, body=b"", ctype=""):
+    environ = {
+        "REQUEST_METHOD": method,
+        "PATH_INFO": path,
+        "CONTENT_LENGTH": str(len(body)),
+        "CONTENT_TYPE": ctype,
+        "wsgi.input": io.BytesIO(body),
+    }
+    captured = {}
+
+    def start_response(status, headers):
+        captured["status"] = status
+        captured["headers"] = dict(headers)
+
+    payload = b"".join(app(environ, start_response))
+    return captured["status"], captured["headers"], payload
+
+
+def submit(app, device="fpga", fault_plan=None):
+    doc = {"reference_fasta": REFERENCE, "reads_fastq": READS, "device": device}
+    if fault_plan is not None:
+        doc["fault_plan"] = fault_plan
+    return call(
+        app, "POST", "/jobs", json.dumps(doc).encode(), "application/json"
+    )
+
+
+class TestMetricsEndpoint:
+    def test_served_with_prometheus_content_type(self):
+        app = BWaveRApp()
+        status, headers, body = call(app, "GET", "/metrics")
+        assert status == "200 OK"
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+
+    def test_app_constructor_installs_enabled_telemetry(self):
+        app = BWaveRApp()
+        assert app.telemetry.enabled
+        assert get_telemetry() is app.telemetry
+
+    def test_job_metrics_appear_after_a_run(self):
+        app = BWaveRApp()
+        submit(app)
+        _, _, body = call(app, "GET", "/metrics")
+        text = body.decode()
+        assert 'web_jobs_total{status="done"} 1' in text
+        assert "web_job_stage_seconds_count" in text
+        assert "index_builds_total 1" in text
+        assert "fpga_runs_total 1" in text
+
+    def test_request_counter_normalizes_job_routes(self):
+        app = BWaveRApp()
+        submit(app)
+        call(app, "GET", "/jobs/1")
+        call(app, "GET", "/jobs/1/results")
+        _, _, body = call(app, "GET", "/metrics")
+        text = body.decode()
+        assert 'route="/jobs/{id}"' in text
+        assert 'route="/jobs/{id}/results"' in text
+        assert 'route="/jobs/1"' not in text
+
+    def test_explicit_disabled_telemetry_respected(self):
+        app = BWaveRApp(telemetry=Telemetry(enabled=False))
+        submit(app)
+        status, _, body = call(app, "GET", "/metrics")
+        assert status == "200 OK"
+        assert body == b""
+
+    def test_normalize_route_helper(self):
+        assert _normalize_route("/jobs/42") == "/jobs/{id}"
+        assert _normalize_route("/jobs/42/sam") == "/jobs/{id}/sam"
+        assert _normalize_route("/metrics") == "/metrics"
+
+
+class TestHealthzEndpoint:
+    def test_fresh_app_is_ok_and_empty(self):
+        app = BWaveRApp()
+        status, _, body = call(app, "GET", "/healthz")
+        doc = json.loads(body)
+        assert status == "200 OK"
+        assert doc["status"] == "ok"
+        assert doc["queue_depth"] == 0
+        assert doc["device"] is None
+        assert doc["jobs"] == {
+            "queued": 0, "running": 0, "done": 0, "error": 0, "degraded": 0,
+        }
+
+    def test_reports_job_counts_and_device_health(self):
+        app = BWaveRApp()
+        submit(app)
+        _, _, body = call(app, "GET", "/healthz")
+        doc = json.loads(body)
+        assert doc["jobs"]["done"] == 1
+        assert doc["queue_depth"] == 0
+        assert doc["device"]["state"] == "ok"
+        assert doc["device"]["total_faults"] == 0
+
+    def test_faulty_device_surfaces_on_healthz(self):
+        app = BWaveRApp()
+        plan = {"seed": 4, "transfer_corrupt_prob": 1.0}
+        status, _, body = submit(app, fault_plan=plan)
+        job = json.loads(body)
+        assert job["status"] == "degraded"
+        _, _, body = call(app, "GET", "/healthz")
+        doc = json.loads(body)
+        assert doc["device"]["total_faults"] > 0
+        assert doc["jobs"]["degraded"] == 1
+
+    def test_cpu_job_leaves_device_untouched(self):
+        app = BWaveRApp()
+        submit(app, device="cpu")
+        _, _, body = call(app, "GET", "/healthz")
+        assert json.loads(body)["device"] is None
+
+
+class TestJobManagerTallies:
+    def test_counts_by_status_and_queue_depth(self):
+        app = BWaveRApp()
+        submit(app)
+        submit(app, device="cpu")
+        counts = app.jobs.counts_by_status()
+        assert counts["done"] == 2
+        assert app.jobs.queue_depth() == 0
+
+    def test_error_jobs_counted(self):
+        app = BWaveRApp()
+        call(
+            app,
+            "POST",
+            "/jobs",
+            json.dumps(
+                {"reference_fasta": ">r\nACGT\n", "reads_fastq": "bogus"}
+            ).encode(),
+            "application/json",
+        )
+        assert app.jobs.counts_by_status()["error"] == 1
+        _, _, body = call(app, "GET", "/metrics")
+        assert 'web_jobs_total{status="error"} 1' in body.decode()
