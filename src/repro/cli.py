@@ -30,6 +30,7 @@ from pathlib import Path
 
 def _cmd_index(args: argparse.Namespace) -> int:
     from .index.builder import build_index
+    from .index.flat import save_index_flat, save_multiref_index_flat
     from .index.serialization import save_index
     from .io.fasta import read_fasta
 
@@ -49,7 +50,10 @@ def _cmd_index(args: argparse.Namespace) -> int:
             records, b=args.block_size, sf=args.superblock_factor,
             backend=args.backend,
         )
-        save_multiref_index(multi, args.output)
+        if args.format == "flat":
+            save_multiref_index_flat(multi, args.output)
+        else:
+            save_multiref_index(multi, args.output)
         report = multi.build_report
         print(
             f"built in {report.sa_bwt_seconds + report.encode_seconds:.2f}s; "
@@ -68,7 +72,10 @@ def _cmd_index(args: argparse.Namespace) -> int:
         backend=args.backend,
         locate=args.locate,
     )
-    save_index(index, args.output)
+    if args.format == "flat":
+        save_index_flat(index, args.output)
+    else:
+        save_index(index, args.output)
     print(
         f"built in {report.sa_bwt_seconds + report.encode_seconds:.2f}s "
         f"(SA+BWT {report.sa_bwt_seconds:.2f}s, encode {report.encode_seconds:.3f}s)"
@@ -81,23 +88,24 @@ def _cmd_index(args: argparse.Namespace) -> int:
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
-    from .fpga.accelerator import FPGAAccelerator
-    from .index.serialization import load_index
+    from .index.flat import load_any_index_auto
+    from .index.multiref import MultiReferenceIndex
     from .io.fasta import _open_text
     from .io.fastq import parse_fastq
     from .mapper.stream import map_fastq_to_tsv
 
-    # Multi-reference archives route through the multiref mapper.
-    import json as _json
+    # Sniff the container format (.npz or flat) and the reference kind;
+    # multi-reference archives route through the multiref mapper.
+    loaded = load_any_index_auto(args.index)
+    if isinstance(loaded, MultiReferenceIndex):
+        return _map_multiref(args, loaded)
+    index = loaded
 
-    import numpy as _np
+    if args.pool > 1:
+        return _map_pooled(args, index)
 
-    with _np.load(args.index) as _data:
-        _meta = _json.loads(bytes(_data["meta_json"]).decode("utf-8"))
-    if _meta.get("multiref"):
-        return _map_multiref(args)
+    from .fpga.accelerator import FPGAAccelerator
 
-    index = load_index(args.index)
     if args.device == "fpga":
         from .faults import FaultPlan, RetryPolicy
 
@@ -168,14 +176,52 @@ def _cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
-def _map_multiref(args: argparse.Namespace) -> int:
+def _map_pooled(args: argparse.Namespace, index) -> int:
+    """Map through a persistent worker pool sharing one index copy."""
+    import time
+
+    from .index.flat import detect_index_format
+    from .io.fasta import _open_text
+    from .io.fastq import parse_fastq
+    from .mapper.results import write_hits_tsv
+    from .serving.pool import MapperPool
+
+    if args.device != "cpu" or args.format != "tsv":
+        print(
+            "error: --pool requires --device cpu and --format tsv",
+            file=sys.stderr,
+        )
+        return 2
+    with _open_text(args.fastq) as fh:
+        reads = [r.sequence for r in parse_fastq(fh)]
+    # A flat container can be served in place (workers mmap the file);
+    # an .npz index is published to shared memory first.
+    if detect_index_format(args.index) == "flat":
+        pool_args = {"flat_path": args.index}
+    else:
+        pool_args = {"index": index}
+    t0 = time.perf_counter()
+    with MapperPool(workers=args.pool, **pool_args) as pool:
+        results = pool.map_reads(reads, locate=True)
+        attach_ms = ", ".join(f"{s * 1e3:.0f}ms" for s in pool.attach_seconds)
+    wall = time.perf_counter() - t0
+    with open(args.output, "w") as out:
+        write_hits_tsv(results, out)
+    n_mapped = sum(1 for r in results if r.mapped)
+    print(f"pool: {args.pool} workers attached in [{attach_ms}]")
+    print(
+        f"mapped {n_mapped}/{len(reads)} reads "
+        f"in {wall:.2f}s host time -> {args.output}"
+    )
+    return 0
+
+
+def _map_multiref(args: argparse.Namespace, multi) -> int:
     """Map against a multi-sequence archive (per-chromosome coordinates)."""
-    from .index.serialization import load_multiref_index
     from .io.fasta import _open_text
     from .io.fastq import parse_fastq
     from .mapper.sam import write_sam_multiref
 
-    multi = load_multiref_index(args.index)
     with _open_text(args.fastq) as fh:
         records = list(parse_fastq(fh))
     reads = [r.sequence for r in records]
@@ -206,12 +252,14 @@ def _map_multiref(args: argparse.Namespace) -> int:
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from .core.bwt_structure import BWTStructure
-    from .index.serialization import load_index
+    from .index.flat import detect_index_format, load_index_auto, verify_flat_index
+    from .index.serialization import IndexFormatError
     from .index.validate import IndexValidationError, validate_index
 
-    index = load_index(args.index)
+    index = load_index_auto(args.index)
     backend = index.backend
     print(f"index: {args.index}")
+    print(f"  format: {detect_index_format(args.index)}")
     print(f"  backend: {type(backend).__name__}")
     print(f"  matrix rows: {backend.n_rows:,} (text {backend.n_rows - 1:,} bp)")
     if isinstance(backend, BWTStructure):
@@ -224,6 +272,13 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
             f"{index.locate_structure.size_in_bytes():,} B"
         )
     if args.validate:
+        if detect_index_format(args.index) == "flat":
+            try:
+                names = verify_flat_index(args.index)
+            except IndexFormatError as exc:
+                print(f"  VALIDATION FAILED: {exc}", file=sys.stderr)
+                return 1
+            print(f"  checksums: OK ({len(names)} segments)")
         try:
             report = validate_index(index, samples=args.samples)
         except IndexValidationError as exc:
@@ -276,7 +331,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .web.server import serve
 
-    serve(host=args.host, port=args.port)
+    serve(
+        host=args.host,
+        port=args.port,
+        job_workers=args.pool,
+        job_backlog=args.backlog,
+    )
     return 0  # pragma: no cover - serve() blocks
 
 
@@ -342,6 +402,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-s", "--superblock-factor", type=int, default=50)
     p.add_argument("--backend", choices=["rrr", "occ"], default="rrr")
     p.add_argument("--locate", choices=["full", "sampled", "none"], default="full")
+    p.add_argument(
+        "--format", choices=["npz", "flat"], default="npz",
+        help="index container: 'npz' (compressed archive, re-encoded on "
+        "load) or 'flat' (zero-copy binary, O(1) mmap open)",
+    )
     p.add_argument("--on-invalid", choices=["error", "skip", "random"], default="error")
     _add_telemetry_args(p)
     p.set_defaults(func=_cmd_index)
@@ -353,6 +418,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--device", choices=["cpu", "fpga"], default="cpu")
     p.add_argument("--batch-size", type=int, default=2048)
     p.add_argument("--format", choices=["tsv", "sam"], default="tsv")
+    p.add_argument(
+        "--pool", type=int, default=1,
+        help="worker processes sharing one index copy (cpu/tsv only); "
+        "1 maps in-process",
+    )
     p.add_argument("--reference-name", default="ref")
     p.add_argument(
         "--faults",
@@ -393,6 +463,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("serve", help="start the web application")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8080)
+    p.add_argument(
+        "--pool", type=int, default=2,
+        help="maximum concurrently running background jobs",
+    )
+    p.add_argument(
+        "--backlog", type=int, default=8,
+        help="queued jobs beyond --pool before submissions get HTTP 503",
+    )
     p.set_defaults(func=_cmd_serve)
 
     return parser

@@ -136,6 +136,65 @@ class BWTStructure:
             return 0  # the sentinel maps to the first row
         return self.count_smaller(sym) + self.occ(sym, i)
 
+    # -- zero-copy rehydration ----------------------------------------------
+
+    def export_arrays(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """The *encoded* structure as (metadata, named arrays).
+
+        Unlike the ``.npz`` path — which stores the raw BWT and re-encodes
+        the wavelet tree on every load — this exports the finished
+        succinct layout (every node's classes/partial sums/offset stream),
+        so :meth:`from_arrays` re-attaches in O(1) without re-encoding.
+        The BWT itself is not included; pass it separately (the flat
+        container stores its codes and suffix array as shared segments).
+        """
+        tree_meta, tree_arrays = self.tree.export_arrays()
+        meta = {
+            "b": self.b,
+            "sf": self.sf,
+            "sentinel_in_tree": self.store_sentinel_in_tree,
+            "dollar_pos": int(self.dollar_pos),
+            "n_rows": int(self.n_rows),
+            "tree": tree_meta,
+        }
+        arrays = {f"tree/{name}": arr for name, arr in tree_arrays.items()}
+        arrays["C"] = self.C
+        return meta, arrays
+
+    @classmethod
+    def from_arrays(
+        cls,
+        meta: dict,
+        arrays: dict[str, np.ndarray],
+        bwt: BWT | None = None,
+        counters: OpCounters | None = None,
+    ) -> "BWTStructure":
+        """Rehydrate around externally owned buffers without re-encoding.
+
+        ``bwt`` (when available, e.g. memmapped codes + suffix array from
+        the flat container) is attached for consumers that walk the raw
+        transform (re-serialization, inspection); queries never need it.
+        """
+        self = cls.__new__(cls)
+        self.b = int(meta["b"])
+        self.sf = int(meta["sf"])
+        self.store_sentinel_in_tree = bool(meta["sentinel_in_tree"])
+        self.dollar_pos = int(meta["dollar_pos"])
+        self.n_rows = int(meta["n_rows"])
+        self.counters = counters if counters is not None else GLOBAL_COUNTERS
+        self.tree = WaveletTree.from_arrays(
+            meta["tree"],
+            {
+                name.removeprefix("tree/"): arr
+                for name, arr in arrays.items()
+                if name.startswith("tree/")
+            },
+            counters=self.counters,
+        )
+        self.C = arrays["C"]
+        self.bwt = bwt
+        return self
+
     # -- structure info ----------------------------------------------------------
 
     def size_in_bytes(self, include_shared: bool = True) -> int:

@@ -166,6 +166,70 @@ class RRRVector:
     ) -> "RRRVector":
         return cls(bv, b=b, sf=sf, tables=tables, counters=counters)
 
+    # -- zero-copy rehydration ----------------------------------------------
+
+    def export_arrays(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """The encoded structure as (metadata, named arrays).
+
+        The arrays are the instance's own buffers, not copies; together
+        with the metadata they are sufficient to rebuild the vector with
+        :meth:`from_arrays` without touching the original bits.  The
+        shared Global Rank Table is *not* exported — it is derived from
+        ``b`` alone and rebuilt (once per process) on attach, matching
+        the paper's per-process sharing.
+        """
+        meta = {
+            "n": self.n,
+            "b": self.b,
+            "sf": self.sf,
+            "n_blocks": self.n_blocks,
+            "n_superblocks": self.n_superblocks,
+            "offset_bits": self.offset_bits,
+        }
+        arrays = {
+            "classes": self.classes,
+            "partial_sums": self.partial_sums,
+            "offset_words": self.offset_words,
+            "offset_sums": self.offset_sums,
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_arrays(
+        cls,
+        meta: dict,
+        arrays: dict[str, np.ndarray],
+        tables: GlobalRankTables | None = None,
+        counters: OpCounters | None = None,
+    ) -> "RRRVector":
+        """Rehydrate around externally owned buffers **without copying**.
+
+        ``arrays`` values may be slices of an ``np.memmap`` or of a
+        ``multiprocessing.shared_memory`` buffer; they are adopted as-is,
+        so N processes attaching to the same physical pages share one
+        copy of the structure.  Queries never write to these arrays.
+        """
+        self = cls.__new__(cls)
+        self.n = int(meta["n"])
+        self.b = int(meta["b"])
+        self.sf = int(meta["sf"])
+        self.n_blocks = int(meta["n_blocks"])
+        self.n_superblocks = int(meta["n_superblocks"])
+        self.offset_bits = int(meta["offset_bits"])
+        self.tables = tables if tables is not None else get_global_tables(self.b)
+        if self.tables.b != self.b:
+            raise ValueError(
+                f"tables built for b={self.tables.b}, structure has b={self.b}"
+            )
+        self.counters = counters if counters is not None else GLOBAL_COUNTERS
+        self.classes = arrays["classes"]
+        self.partial_sums = arrays["partial_sums"]
+        self.offset_words = arrays["offset_words"]
+        self.offset_sums = arrays["offset_sums"]
+        self._class_cum = None
+        self._offset_cum = None
+        return self
+
     # -- queries ------------------------------------------------------------
 
     def __len__(self) -> int:

@@ -134,6 +134,96 @@ class WaveletTree:
             node.child1 = self._build(codes[right], alpha1)
         return node
 
+    # -- zero-copy rehydration ----------------------------------------------
+
+    def export_arrays(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """The tree as (metadata, named arrays) for external serving.
+
+        Nodes are listed in a fixed preorder; node ``i``'s RRR arrays are
+        exported under the ``node<i>/`` prefix.  Only trees whose nodes
+        are :class:`~repro.core.rrr.RRRVector` instances can be exported
+        (the plain-bit-vector ablation factory has no succinct layout to
+        share).
+        """
+        order: list[WaveletNode] = []
+
+        def visit(node: WaveletNode | None) -> int:
+            if node is None:
+                return -1
+            idx = len(order)
+            order.append(node)
+            return idx
+
+        # Preorder with explicit child indices (robust to alphabet shape).
+        metas: list[dict] = []
+        arrays: dict[str, np.ndarray] = {}
+        stack: list[tuple[WaveletNode, int]] = []
+        visit(self.root)
+        metas.append({})
+        stack.append((self.root, 0))
+        while stack:
+            node, idx = stack.pop()
+            if not isinstance(node.bits, RRRVector):
+                raise TypeError(
+                    f"cannot export wavelet node of type "
+                    f"{type(node.bits).__name__}; only RRR-backed trees "
+                    f"support zero-copy serving"
+                )
+            bits_meta, bits_arrays = node.bits.export_arrays()
+            child0 = visit(node.child0)
+            child1 = visit(node.child1)
+            metas[idx] = {
+                "alphabet0": list(node.alphabet0),
+                "alphabet1": list(node.alphabet1),
+                "child0": child0,
+                "child1": child1,
+                "bits": bits_meta,
+            }
+            for name, arr in bits_arrays.items():
+                arrays[f"node{idx}/{name}"] = arr
+            if child1 >= 0:
+                metas.append({})
+                stack.append((node.child1, child1))
+            if child0 >= 0:
+                metas.append({})
+                stack.append((node.child0, child0))
+        meta = {"n": self.n, "sigma": self.sigma, "nodes": metas}
+        return meta, arrays
+
+    @classmethod
+    def from_arrays(
+        cls,
+        meta: dict,
+        arrays: dict[str, np.ndarray],
+        counters: OpCounters | None = None,
+    ) -> "WaveletTree":
+        """Rebuild a tree around externally owned node buffers (no copies)."""
+        self = cls.__new__(cls)
+        self.n = int(meta["n"])
+        self.sigma = int(meta["sigma"])
+        self.counters = counters if counters is not None else GLOBAL_COUNTERS
+        node_metas = meta["nodes"]
+        nodes: list[WaveletNode] = []
+        for i, nm in enumerate(node_metas):
+            bits = RRRVector.from_arrays(
+                nm["bits"],
+                {
+                    key: arrays[f"node{i}/{key}"]
+                    for key in ("classes", "partial_sums", "offset_words", "offset_sums")
+                },
+                counters=self.counters,
+            )
+            nodes.append(WaveletNode(bits, nm["alphabet0"], nm["alphabet1"]))
+        for node, nm in zip(nodes, node_metas):
+            node.child0 = nodes[nm["child0"]] if nm["child0"] >= 0 else None
+            node.child1 = nodes[nm["child1"]] if nm["child1"] >= 0 else None
+        self.root = nodes[0]
+        b = self.root.bits.b
+        sf = self.root.bits.sf
+        self._factory = _default_factory(b, sf, self.counters)
+        self._paths = {s: self._path_for(s) for s in range(self.sigma)}
+        return self
+
     def _path_for(self, symbol: int) -> list[tuple[WaveletNode, int]]:
         path: list[tuple[WaveletNode, int]] = []
         node: WaveletNode | None = self.root

@@ -3,6 +3,17 @@
 from .bidirectional import BidirectionalFMIndex, BiInterval
 from .builder import BuildReport, build_index, encode_existing_bwt
 from .extract import TextExtractor
+from .flat import (
+    attach_index_from_buffer,
+    detect_index_format,
+    load_any_index_auto,
+    load_index_auto,
+    load_index_flat,
+    load_multiref_index_flat,
+    save_index_flat,
+    save_multiref_index_flat,
+    verify_flat_index,
+)
 from .fm_index import FMIndex, SearchResult
 from .multiref import MultiReferenceIndex, MultiRefMapping, ReferenceHit
 from .occ_table import OccTable, pack_2bit, unpack_2bit
@@ -32,13 +43,22 @@ __all__ = [
     "SearchResult",
     "TextExtractor",
     "ValidationReport",
+    "attach_index_from_buffer",
     "build_index",
+    "detect_index_format",
     "encode_existing_bwt",
+    "load_any_index_auto",
     "load_index",
+    "load_index_auto",
+    "load_index_flat",
     "load_multiref_index",
+    "load_multiref_index_flat",
     "pack_2bit",
     "save_index",
+    "save_index_flat",
     "save_multiref_index",
+    "save_multiref_index_flat",
     "unpack_2bit",
     "validate_index",
+    "verify_flat_index",
 ]

@@ -1,0 +1,462 @@
+"""Flat zero-copy index container: build once, map everywhere, copy never.
+
+The ``.npz`` path in :mod:`repro.index.serialization` stores the *raw*
+BWT and re-encodes the succinct structure on every load — robust, but it
+decompresses and copies every array and pays the full wavelet-tree
+encoding cost per process.  This module provides the production-serving
+alternative BWaveR's architecture implies: the index is a shared,
+read-only artifact, so the *encoded* layout (every RRR node's classes,
+partial sums and offset stream, the C array, the packed Occ words, the
+suffix array) is written to a versioned binary container whose array
+segments are 64-byte aligned.  Opening the container is ``np.memmap``
+plus a JSON manifest read — O(1) in the index size — and the arrays page
+in lazily from the OS page cache, so N processes mapping the same file
+share one physical copy.
+
+Container layout (little-endian)::
+
+    bytes 0..7    magic  b"BWVRFLT1"
+    bytes 8..11   uint32 container format version (1)
+    bytes 12..15  uint32 manifest length M in bytes
+    bytes 16..23  uint64 data_start (64-byte aligned file offset)
+    bytes 24..    manifest: UTF-8 JSON {"meta": ..., "segments": [...]}
+    data_start..  segments, each 64-byte aligned, raw C-order array bytes
+
+Each manifest segment entry records ``name``, ``dtype`` (numpy dtype
+string), ``shape``, ``offset`` (relative to ``data_start``), ``nbytes``
+and ``crc32`` — the same per-array checksum scheme the fault framework
+uses for the ``.npz`` archives.  Checksums are verified on demand
+(``verify=True`` or :func:`verify_flat_index`), not on open: touching
+every page on open would defeat the O(1) attach that is the point of the
+format.  All structural failures raise
+:class:`~repro.index.serialization.IndexFormatError`.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import time
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from ..core.bwt_structure import BWTStructure
+from ..core.counters import OpCounters
+from ..sequence.bwt import BWT
+from ..sequence.sampled_sa import FullSA, SampledSA
+from ..telemetry import get_telemetry
+from .fm_index import FMIndex
+from .occ_table import OccTable
+from .serialization import IndexFormatError, load_index, load_multiref_index
+
+MAGIC = b"BWVRFLT1"
+FLAT_VERSION = 1
+ALIGN = 64
+_HEADER = struct.Struct("<8sIIQ")  # magic, version, manifest_len, data_start
+
+
+def _align_up(n: int, align: int = ALIGN) -> int:
+    return (n + align - 1) // align * align
+
+
+# --------------------------------------------------------------------------
+# Export: FMIndex -> (meta, named segments)
+# --------------------------------------------------------------------------
+
+
+def export_index(index: FMIndex) -> tuple[dict, dict[str, np.ndarray]]:
+    """Decompose ``index`` into a JSON-able meta dict and named arrays.
+
+    Segment names: ``bwt_codes`` and ``sa`` (the raw transform, shared
+    with locate), ``backend/...`` (the encoded succinct layout), and
+    ``locate/...`` for locate structures with their own storage.
+    """
+    backend = index.backend
+    if isinstance(backend, BWTStructure):
+        kind = "rrr"
+    elif isinstance(backend, OccTable):
+        kind = "occ"
+    else:
+        raise IndexFormatError(
+            f"cannot export backend of type {type(backend).__name__}"
+        )
+    bwt = backend.bwt
+    if bwt is None:
+        raise IndexFormatError(
+            "index backend carries no BWT; cannot export the raw transform"
+        )
+    backend_meta, backend_arrays = backend.export_arrays()
+    segments: dict[str, np.ndarray] = {
+        "bwt_codes": np.ascontiguousarray(bwt.codes, dtype=np.uint8),
+        "sa": np.ascontiguousarray(bwt.sa, dtype=np.int64),
+    }
+    for name, arr in backend_arrays.items():
+        segments[f"backend/{name}"] = arr
+    loc = index.locate_structure
+    if loc is None:
+        locate_kind, locate_meta = "none", {}
+    elif isinstance(loc, FullSA):
+        # FullSA wraps the suffix array already stored as the "sa"
+        # segment; no extra storage.
+        locate_kind, locate_meta = "full", {}
+    elif isinstance(loc, SampledSA):
+        locate_kind, locate_meta = "sampled", loc.export_arrays()[0]
+        segments["locate/samples"] = loc.samples
+    else:
+        raise IndexFormatError(
+            f"cannot export locate structure of type {type(loc).__name__}"
+        )
+    meta = {
+        "version": FLAT_VERSION,
+        "kind": "fmindex",
+        "backend": kind,
+        "backend_meta": backend_meta,
+        "locate": locate_kind,
+        "locate_meta": locate_meta,
+    }
+    return meta, segments
+
+
+# --------------------------------------------------------------------------
+# Container layout / writing
+# --------------------------------------------------------------------------
+
+
+def _layout(meta: dict, segments: dict[str, np.ndarray]) -> tuple[bytes, list[dict], int, int]:
+    """Compute the serialized manifest and segment placement.
+
+    Returns ``(manifest_bytes, entries, data_start, total_size)``; entry
+    offsets are relative to ``data_start`` so the manifest's own length
+    never perturbs them.
+    """
+    entries: list[dict] = []
+    rel = 0
+    for name, arr in segments.items():
+        arr = np.ascontiguousarray(arr)
+        rel = _align_up(rel)
+        entries.append(
+            {
+                "name": name,
+                "dtype": arr.dtype.str,
+                "shape": list(arr.shape),
+                "offset": rel,
+                "nbytes": int(arr.nbytes),
+                "crc32": zlib.crc32(arr.tobytes()) & 0xFFFFFFFF,
+            }
+        )
+        rel += int(arr.nbytes)
+    manifest = json.dumps({"meta": meta, "segments": entries}).encode("utf-8")
+    data_start = _align_up(_HEADER.size + len(manifest))
+    total_size = data_start + rel
+    return manifest, entries, data_start, max(total_size, data_start)
+
+
+def flat_container_size(meta: dict, segments: dict[str, np.ndarray]) -> int:
+    """Total container size in bytes (used to size shared-memory blocks)."""
+    return _layout(meta, segments)[3]
+
+
+def pack_flat_into(buf, meta: dict, segments: dict[str, np.ndarray]) -> int:
+    """Serialize the container into a writable buffer (memoryview/ndarray).
+
+    Writes header, manifest and every segment directly — no intermediate
+    full-container copy — and returns the number of bytes used.  The
+    buffer must be at least :func:`flat_container_size` long.
+    """
+    manifest, entries, data_start, total = _layout(meta, segments)
+    out = np.frombuffer(buf, dtype=np.uint8, count=total) if not isinstance(buf, np.ndarray) else buf
+    if out.nbytes < total:
+        raise IndexFormatError(
+            f"buffer of {out.nbytes} B too small for {total} B container"
+        )
+    header = _HEADER.pack(MAGIC, FLAT_VERSION, len(manifest), data_start)
+    out[: len(header)] = np.frombuffer(header, dtype=np.uint8)
+    out[len(header) : len(header) + len(manifest)] = np.frombuffer(manifest, dtype=np.uint8)
+    out[len(header) + len(manifest) : data_start] = 0
+    prev_end = data_start
+    for entry, arr in zip(entries, segments.values()):
+        start = data_start + entry["offset"]
+        out[prev_end:start] = 0  # alignment padding
+        flat = np.ascontiguousarray(arr).reshape(-1).view(np.uint8)
+        out[start : start + entry["nbytes"]] = flat
+        prev_end = start + entry["nbytes"]
+    return total
+
+
+def save_index_flat(index: FMIndex, path: str | Path) -> int:
+    """Write ``index`` to ``path`` in the flat container format.
+
+    Returns the container size in bytes.
+    """
+    meta, segments = export_index(index)
+    return _write_container(meta, segments, path)
+
+
+def _write_container(meta: dict, segments: dict[str, np.ndarray], path: str | Path) -> int:
+    manifest, entries, data_start, total = _layout(meta, segments)
+    path = Path(path)
+    with open(path, "wb") as fh:
+        fh.write(_HEADER.pack(MAGIC, FLAT_VERSION, len(manifest), data_start))
+        fh.write(manifest)
+        fh.write(b"\x00" * (data_start - _HEADER.size - len(manifest)))
+        pos = data_start
+        for entry, arr in zip(entries, segments.values()):
+            start = data_start + entry["offset"]
+            fh.write(b"\x00" * (start - pos))
+            fh.write(np.ascontiguousarray(arr).tobytes())
+            pos = start + entry["nbytes"]
+    return total
+
+
+def save_multiref_index_flat(multi, path: str | Path) -> int:
+    """Flat-format counterpart of ``save_multiref_index``."""
+    from .multiref import MultiReferenceIndex
+
+    if not isinstance(multi, MultiReferenceIndex):
+        raise IndexFormatError(
+            f"expected a MultiReferenceIndex, got {type(multi).__name__}"
+        )
+    meta, segments = export_index(multi.index)
+    meta["multiref"] = {"names": list(multi.names)}
+    segments["seq_lengths"] = np.ascontiguousarray(multi.lengths, dtype=np.int64)
+    return _write_container(meta, segments, path)
+
+
+# --------------------------------------------------------------------------
+# Attach: buffer -> FMIndex (no copies)
+# --------------------------------------------------------------------------
+
+
+def read_flat_manifest(buf: np.ndarray) -> tuple[dict, list[dict], int]:
+    """Parse and validate the header + manifest of a container buffer.
+
+    Returns ``(meta, segment_entries, data_start)``.
+    """
+    if buf.nbytes < _HEADER.size:
+        raise IndexFormatError("flat container truncated: no header")
+    magic, version, manifest_len, data_start = _HEADER.unpack(
+        buf[: _HEADER.size].tobytes()
+    )
+    if magic != MAGIC:
+        raise IndexFormatError(
+            f"not a flat index container (bad magic {magic!r})"
+        )
+    if version != FLAT_VERSION:
+        raise IndexFormatError(
+            f"unsupported flat container version {version} "
+            f"(this build reads version {FLAT_VERSION})"
+        )
+    if _HEADER.size + manifest_len > buf.nbytes or data_start > buf.nbytes:
+        raise IndexFormatError("flat container truncated: manifest out of range")
+    try:
+        doc = json.loads(buf[_HEADER.size : _HEADER.size + manifest_len].tobytes())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise IndexFormatError(f"flat container manifest is corrupted: {exc}") from exc
+    if not isinstance(doc, dict) or "meta" not in doc or "segments" not in doc:
+        raise IndexFormatError("flat container manifest missing meta/segments")
+    for entry in doc["segments"]:
+        end = data_start + entry["offset"] + entry["nbytes"]
+        if end > buf.nbytes:
+            raise IndexFormatError(
+                f"flat container truncated: segment {entry['name']!r} "
+                f"ends at {end} > file size {buf.nbytes}"
+            )
+    return doc["meta"], doc["segments"], data_start
+
+
+def _segment_views(
+    buf: np.ndarray, entries: list[dict], data_start: int, verify: bool
+) -> dict[str, np.ndarray]:
+    views: dict[str, np.ndarray] = {}
+    for entry in entries:
+        start = data_start + entry["offset"]
+        raw = buf[start : start + entry["nbytes"]]
+        if verify:
+            if (zlib.crc32(raw.tobytes()) & 0xFFFFFFFF) != entry["crc32"]:
+                raise IndexFormatError(
+                    f"checksum mismatch for segment {entry['name']!r}: "
+                    f"container is corrupted"
+                )
+        views[entry["name"]] = raw.view(np.dtype(entry["dtype"])).reshape(
+            entry["shape"]
+        )
+    return views
+
+
+def _rehydrate(
+    meta: dict, views: dict[str, np.ndarray], counters: OpCounters | None
+) -> FMIndex:
+    if meta.get("kind") != "fmindex":
+        raise IndexFormatError(f"unknown container kind {meta.get('kind')!r}")
+    bm = meta["backend_meta"]
+    try:
+        bwt = BWT(
+            codes=views["bwt_codes"],
+            dollar_pos=int(bm["dollar_pos"]),
+            sa=views["sa"],
+        )
+        backend_views = {
+            name.removeprefix("backend/"): arr
+            for name, arr in views.items()
+            if name.startswith("backend/")
+        }
+        kind = meta.get("backend")
+        if kind == "rrr":
+            backend = BWTStructure.from_arrays(
+                bm, backend_views, bwt=bwt, counters=counters
+            )
+        elif kind == "occ":
+            backend = OccTable.from_arrays(
+                bm, backend_views, bwt=bwt, counters=counters
+            )
+        else:
+            raise IndexFormatError(f"unknown backend kind {kind!r}")
+        locate = meta.get("locate", "none")
+        if locate == "full":
+            loc = FullSA.from_arrays({}, {"sa": views["sa"]})
+        elif locate == "sampled":
+            loc = SampledSA.from_arrays(
+                meta["locate_meta"], {"samples": views["locate/samples"]}
+            )
+        elif locate == "none":
+            loc = None
+        else:
+            raise IndexFormatError(f"unknown locate kind {locate!r}")
+    except KeyError as exc:
+        raise IndexFormatError(f"flat container missing field: {exc}") from exc
+    return FMIndex(backend, locate_structure=loc, counters=counters)
+
+
+def attach_index_from_buffer(
+    buf,
+    counters: OpCounters | None = None,
+    verify: bool = False,
+) -> FMIndex:
+    """Rehydrate an :class:`FMIndex` around a container buffer, zero-copy.
+
+    ``buf`` is any byte buffer holding a flat container — an
+    ``np.memmap``, a ``multiprocessing.shared_memory`` view, or plain
+    bytes.  Every structure array is a *view* into ``buf``; the caller
+    must keep the underlying mapping alive for the index's lifetime
+    (numpy view chains do this automatically for memmaps).
+    """
+    u8 = buf if isinstance(buf, np.ndarray) else np.frombuffer(buf, dtype=np.uint8)
+    meta, entries, data_start = read_flat_manifest(u8)
+    views = _segment_views(u8, entries, data_start, verify=verify)
+    return _rehydrate(meta, views, counters)
+
+
+def load_index_flat(
+    path: str | Path,
+    counters: OpCounters | None = None,
+    verify: bool = False,
+) -> FMIndex:
+    """Memory-map a flat container and attach to it — O(1) in index size.
+
+    With ``verify=False`` (the default) no array data is read at open
+    time; pages fault in lazily as queries touch them.  ``verify=True``
+    checks every segment CRC up front (reads the whole file once).
+    """
+    path = Path(path)
+    tel = get_telemetry()
+    with tel.span("index.load_flat", path=str(path)):
+        t0 = time.perf_counter()
+        try:
+            mm = np.memmap(path, dtype=np.uint8, mode="r")
+        except (OSError, ValueError) as exc:
+            raise IndexFormatError(
+                f"cannot map flat index {path}: {type(exc).__name__}: {exc}"
+            ) from exc
+        meta, entries, data_start = read_flat_manifest(mm)
+        if meta.get("multiref"):
+            raise IndexFormatError(
+                "container holds a multi-reference index; use load_multiref_index_flat"
+            )
+        views = _segment_views(mm, entries, data_start, verify=verify)
+        index = _rehydrate(meta, views, counters)
+        tel.metrics.counter(
+            "index_flat_loads_total", "Flat (mmap) index attaches"
+        ).inc()
+        tel.metrics.histogram(
+            "index_flat_open_seconds", "Wall seconds to open+attach a flat index"
+        ).observe(time.perf_counter() - t0)
+    return index
+
+
+def load_multiref_index_flat(path: str | Path, counters: OpCounters | None = None):
+    """Load a container written by :func:`save_multiref_index_flat`."""
+    from .multiref import MultiReferenceIndex
+
+    mm = np.memmap(Path(path), dtype=np.uint8, mode="r")
+    meta, entries, data_start = read_flat_manifest(mm)
+    if not meta.get("multiref"):
+        raise IndexFormatError(
+            "container holds a single-reference index; use load_index_flat"
+        )
+    views = _segment_views(mm, entries, data_start, verify=False)
+    inner = _rehydrate(meta, views, counters)
+    lengths = np.asarray(views["seq_lengths"], dtype=np.int64)
+    multi = MultiReferenceIndex.__new__(MultiReferenceIndex)
+    multi.names = tuple(meta["multiref"]["names"])
+    multi.lengths = lengths
+    multi.offsets = np.concatenate(([0], np.cumsum(lengths)))
+    multi.index = inner
+    multi.build_report = None
+    return multi
+
+
+def verify_flat_index(path: str | Path) -> list[str]:
+    """Check every segment CRC of a container; returns verified names.
+
+    Raises :class:`IndexFormatError` on the first mismatch.  This is the
+    explicit integrity pass the lazy ``load_index_flat`` default skips.
+    """
+    mm = np.memmap(Path(path), dtype=np.uint8, mode="r")
+    meta, entries, data_start = read_flat_manifest(mm)
+    views = _segment_views(mm, entries, data_start, verify=True)
+    return sorted(views)
+
+
+# --------------------------------------------------------------------------
+# Format sniffing
+# --------------------------------------------------------------------------
+
+
+def detect_index_format(path: str | Path) -> str:
+    """``"flat"`` or ``"npz"``, by magic bytes."""
+    with open(path, "rb") as fh:
+        head = fh.read(8)
+    if head == MAGIC:
+        return "flat"
+    if head[:2] == b"PK":
+        return "npz"
+    raise IndexFormatError(
+        f"{path} is neither a flat container nor an .npz index archive"
+    )
+
+
+def load_index_auto(path: str | Path, counters: OpCounters | None = None) -> FMIndex:
+    """Load either format by sniffing the file's magic bytes."""
+    if detect_index_format(path) == "flat":
+        return load_index_flat(path, counters=counters)
+    return load_index(path, counters=counters)
+
+
+def load_any_index_auto(path: str | Path, counters: OpCounters | None = None):
+    """Like :func:`load_index_auto` but also dispatches multi-reference
+    archives (returns ``FMIndex`` or ``MultiReferenceIndex``)."""
+    if detect_index_format(path) == "flat":
+        mm_meta = read_flat_manifest(np.memmap(Path(path), dtype=np.uint8, mode="r"))[0]
+        if mm_meta.get("multiref"):
+            return load_multiref_index_flat(path, counters=counters)
+        return load_index_flat(path, counters=counters)
+    import zipfile
+
+    with zipfile.ZipFile(path) as zf, zf.open("meta_json.npy") as fh:
+        blob = fh.read()
+    # .npy payload: JSON bytes follow the numpy header.
+    if b"multiref" in blob:
+        return load_multiref_index(path, counters=counters)
+    return load_index(path, counters=counters)

@@ -190,6 +190,45 @@ class OccTable:
     def count_smaller(self, symbol: int) -> int:
         return int(self.C[symbol])
 
+    # -- zero-copy rehydration ----------------------------------------------
+
+    def export_arrays(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """The packed table as (metadata, named arrays); no copies."""
+        meta = {
+            "checkpoint_words": self.checkpoint_words,
+            "dollar_pos": int(self.dollar_pos),
+            "n_rows": int(self.n_rows),
+            "n_sym": int(self.n_sym),
+        }
+        arrays = {
+            "words": self.words,
+            "checkpoints": self.checkpoints,
+            "C": self.C,
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_arrays(
+        cls,
+        meta: dict,
+        arrays: dict[str, np.ndarray],
+        bwt: BWT | None = None,
+        counters: OpCounters | None = None,
+    ) -> "OccTable":
+        """Rehydrate around externally owned buffers without repacking."""
+        self = cls.__new__(cls)
+        self.checkpoint_words = int(meta["checkpoint_words"])
+        self.d_rows = BASES_PER_WORD * self.checkpoint_words
+        self.dollar_pos = int(meta["dollar_pos"])
+        self.n_rows = int(meta["n_rows"])
+        self.n_sym = int(meta["n_sym"])
+        self.counters = counters if counters is not None else GLOBAL_COUNTERS
+        self.words = arrays["words"]
+        self.checkpoints = arrays["checkpoints"]
+        self.C = arrays["C"]
+        self.bwt = bwt
+        return self
+
     def access(self, i: int) -> int:
         """BWT symbol at row ``i``; ``-1`` for the sentinel row."""
         if not 0 <= i < self.n_rows:

@@ -16,7 +16,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..core.counters import CounterScope, OpCounters
+from ..core.counters import CounterScope
 from ..index.fm_index import FMIndex
 from ..telemetry import get_telemetry
 from .mapper import Mapper
@@ -83,63 +83,43 @@ def run_mapping_batch(
 # Multiprocess sharding (measured multi-core scaling).
 # --------------------------------------------------------------------------
 
-_WORKER_INDEX: FMIndex | None = None
-
-
-def _init_worker(index: FMIndex) -> None:
-    global _WORKER_INDEX
-    _WORKER_INDEX = index
-
-
-def _map_shard(reads: list[str]) -> tuple[int, dict[str, int]]:
-    assert _WORKER_INDEX is not None
-    counters = OpCounters()
-    shard_index = FMIndex(
-        _WORKER_INDEX.backend,
-        locate_structure=_WORKER_INDEX.locate_structure,
-        counters=counters,
-    )
-    mapper = Mapper(shard_index, locate=False)
-    results = mapper.map_reads(reads)
-    mapped = sum(1 for r in results if r.mapped)
-    return mapped, counters.snapshot()
-
 
 def run_mapping_multiprocess(
     index: FMIndex,
     reads: Sequence[str],
     workers: int = 2,
+    start_method: str | None = None,
+    mode: str = "auto",
 ) -> BatchRunReport:
     """Shard ``reads`` across ``workers`` processes and time the whole map.
 
-    Counter snapshots are merged from the workers; per-read results are
-    not shipped back (only aggregate mapping ratio), keeping IPC cost out
-    of the measurement.
-    """
-    import multiprocessing as mp
+    The workers come from a :class:`~repro.serving.pool.MapperPool`: the
+    index is published once (shared memory, or a memory-mapped flat file)
+    and each worker attaches to the same physical copy — no per-worker
+    pickle of the structure, and resident memory stays ~one index total
+    regardless of ``workers``.  Counter snapshots are merged from the
+    workers; per-read results are not shipped back (only aggregate
+    mapping ratio), keeping IPC cost out of the measurement.
 
+    ``start_method``/``mode`` are forwarded to the pool (defaults: fork
+    when available; shared memory with mmap fallback).
+    """
     if workers < 1:
         raise ValueError("workers must be >= 1")
     reads = list(reads)
     if workers == 1 or len(reads) < workers:
         return run_mapping_batch(index, reads, keep_results=False)
-    shards = [list(reads[i::workers]) for i in range(workers)]
-    ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
-    t0 = time.perf_counter()
-    with ctx.Pool(workers, initializer=_init_worker, initargs=(index,)) as pool:
-        outcomes = pool.map(_map_shard, shards)
-    wall = time.perf_counter() - t0
-    merged = OpCounters()
-    mapped = 0
-    for shard_mapped, snap in outcomes:
-        mapped += shard_mapped
-        delta = OpCounters(**snap)
-        merged.merge(delta)
+    from ..serving.pool import MapperPool
+
+    with MapperPool(
+        index, workers=workers, start_method=start_method, mode=mode
+    ) as pool:
+        outcome = pool.run_batch(reads, locate=False)
     return BatchRunReport(
-        n_reads=len(reads),
+        n_reads=outcome.n_reads,
         read_length=len(reads[0]) if reads else 0,
-        wall_seconds=wall,
-        mapping_ratio=mapped / len(reads) if reads else 0.0,
-        op_counts=merged.snapshot(),
+        wall_seconds=outcome.wall_seconds,
+        mapping_ratio=outcome.mapping_ratio,
+        op_counts=outcome.op_counts,
         results=[],
     )

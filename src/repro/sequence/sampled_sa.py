@@ -38,6 +38,16 @@ class FullSA:
     def size_in_bytes(self) -> int:
         return self.sa.nbytes
 
+    def export_arrays(self) -> tuple[dict, dict[str, np.ndarray]]:
+        return {}, {"sa": self.sa}
+
+    @classmethod
+    def from_arrays(cls, meta: dict, arrays: dict[str, np.ndarray]) -> "FullSA":
+        """Wrap an externally owned suffix array (no copy for int64 input)."""
+        self = cls.__new__(cls)
+        self.sa = arrays["sa"]
+        return self
+
 
 class SampledSA:
     """Every-``k``-th-row SA sample with LF-walk recovery.
@@ -87,3 +97,15 @@ class SampledSA:
 
     def size_in_bytes(self) -> int:
         return self.samples.nbytes
+
+    def export_arrays(self) -> tuple[dict, dict[str, np.ndarray]]:
+        return {"k": self.k, "n_rows": self.n_rows}, {"samples": self.samples}
+
+    @classmethod
+    def from_arrays(cls, meta: dict, arrays: dict[str, np.ndarray]) -> "SampledSA":
+        """Wrap externally owned samples (no copy)."""
+        self = cls.__new__(cls)
+        self.k = int(meta["k"])
+        self.n_rows = int(meta["n_rows"])
+        self.samples = arrays["samples"]
+        return self

@@ -11,8 +11,11 @@ pair:
 Each stage's wall time is recorded on the job (the web UI shows the
 same three-step breakdown as the paper's Fig. 4 coloring), and the
 result is a downloadable hits table.  Jobs run either synchronously
-(``background=False``, used by tests and the WSGI app's default) or on a
-daemon thread.
+(``background=False``, used by tests and the WSGI app's default) or
+through a bounded executor (:class:`~repro.serving.executor.BoundedExecutor`):
+at most ``job_workers`` jobs run concurrently, at most ``job_backlog``
+wait queued, and submissions beyond that raise
+:class:`~repro.serving.executor.BacklogFull` (HTTP 503 at the server).
 
 Jobs are fault-tolerant.  A :class:`~repro.faults.FaultPlan` (configured
 on the manager or per submission) scripts device faults; the pipeline
@@ -41,6 +44,7 @@ from ..io.fasta import read_fasta_str
 from ..io.fastq import read_fastq_str
 from ..mapper.mapper import Mapper
 from ..mapper.results import mapping_ratio, write_hits_tsv
+from ..serving.executor import BacklogFull, BoundedExecutor
 from ..telemetry import correlate, get_telemetry
 
 Device = Literal["cpu", "fpga"]
@@ -166,6 +170,11 @@ class JobManager:
         Stage deadlines and the job-level mapping retry budget.
     retry_policy:
         The accelerator's per-batch recovery ladder.
+    job_workers, job_backlog:
+        Background-execution caps: at most ``job_workers`` jobs run
+        concurrently and at most ``job_backlog`` wait queued; a
+        submission beyond both raises
+        :class:`~repro.serving.executor.BacklogFull`.
     """
 
     def __init__(
@@ -173,6 +182,8 @@ class JobManager:
         fault_plan: FaultPlan | None = None,
         policy: JobPolicy | None = None,
         retry_policy: RetryPolicy | None = None,
+        job_workers: int = 2,
+        job_backlog: int = 8,
     ):
         self._jobs: dict[int, Job] = {}
         self._ids = itertools.count(1)
@@ -180,6 +191,9 @@ class JobManager:
         self.fault_plan = fault_plan
         self.policy = policy if policy is not None else JobPolicy()
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.executor = BoundedExecutor(
+            workers=job_workers, backlog=job_backlog, name="web-jobs"
+        )
         #: Health snapshot of the device used by the most recent FPGA job
         #: (what ``GET /healthz`` reports).
         self.last_device_health: dict | None = None
@@ -195,6 +209,19 @@ class JobManager:
         """Jobs submitted but not yet in a terminal state."""
         counts = self.counts_by_status()
         return counts["queued"] + counts["running"]
+
+    def concurrency(self) -> dict:
+        """Executor caps and occupancy (the /healthz concurrency view)."""
+        return {
+            "job_workers": self.executor.workers,
+            "job_backlog": self.executor.backlog,
+            "pending": self.executor.pending(),
+            "queued": self.executor.queued(),
+        }
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the background executor (queued jobs are drained first)."""
+        self.executor.shutdown(wait=wait)
 
     def submit(
         self,
@@ -220,7 +247,14 @@ class JobManager:
             )
             self._jobs[job.job_id] = job
         if background:
-            threading.Thread(target=self._run, args=(job,), daemon=True).start()
+            try:
+                self.executor.submit(lambda: self._run(job))
+            except BacklogFull:
+                # The job never ran; drop it so the rejected submission
+                # leaves no QUEUED ghost in listings.
+                with self._lock:
+                    self._jobs.pop(job.job_id, None)
+                raise
         else:
             self._run(job)
         return job

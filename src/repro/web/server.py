@@ -31,6 +31,7 @@ import re
 from typing import Callable, Iterable
 
 from ..faults import FaultPlan, RetryPolicy
+from ..serving.executor import BacklogFull
 from ..telemetry import Telemetry, set_telemetry
 from .jobs import JobManager, JobPolicy
 
@@ -138,13 +139,19 @@ class BWaveRApp:
         retry_policy: RetryPolicy | None = None,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         telemetry: Telemetry | None = None,
+        job_workers: int = 2,
+        job_backlog: int = 8,
     ):
         if telemetry is None:
             telemetry = Telemetry(enabled=True)
             set_telemetry(telemetry)
         self.telemetry = telemetry
         self.jobs = JobManager(
-            fault_plan=fault_plan, policy=job_policy, retry_policy=retry_policy
+            fault_plan=fault_plan,
+            policy=job_policy,
+            retry_policy=retry_policy,
+            job_workers=job_workers,
+            job_backlog=job_backlog,
         )
         self.background_jobs = background_jobs
         self.max_body_bytes = int(max_body_bytes)
@@ -256,6 +263,7 @@ class BWaveRApp:
                 "telemetry_enabled": self.telemetry.enabled,
                 "queue_depth": self.jobs.queue_depth(),
                 "jobs": counts,
+                "concurrency": self.jobs.concurrency(),
                 "device": device,
             },
         )
@@ -320,22 +328,30 @@ class BWaveRApp:
             raise WebAppError(f"b and sf must be integers: {exc}") from exc
         if device not in ("cpu", "fpga"):
             raise WebAppError(f"unknown device {device!r}")
-        job = self.jobs.submit(
-            reference_fasta=reference,
-            reads_fastq=reads,
-            b=b_i,
-            sf=sf_i,
-            device=device,  # type: ignore[arg-type]
-            background=self.background_jobs,
-            fault_plan=fault_plan,
-        )
+        try:
+            job = self.jobs.submit(
+                reference_fasta=reference,
+                reads_fastq=reads,
+                b=b_i,
+                sf=sf_i,
+                device=device,  # type: ignore[arg-type]
+                background=self.background_jobs,
+                fault_plan=fault_plan,
+            )
+        except BacklogFull as exc:
+            status, headers, body = self._json(
+                503, {"error": str(exc), "concurrency": self.jobs.concurrency()}
+            )
+            headers.append(("Retry-After", "5"))
+            return status, headers, body
         return self._json(201, job.summary())
 
     @staticmethod
     def _json(code: int, doc: dict) -> tuple[str, list, bytes]:
         reasons = {200: "OK", 201: "Created", 400: "Bad Request",
                    404: "Not Found", 409: "Conflict",
-                   413: "Payload Too Large", 500: "Internal Server Error"}
+                   413: "Payload Too Large", 500: "Internal Server Error",
+                   503: "Service Unavailable"}
         return (
             f"{code} {reasons.get(code, 'Unknown')}",
             [("Content-Type", "application/json; charset=utf-8")],
@@ -343,11 +359,21 @@ class BWaveRApp:
         )
 
 
-def serve(host: str = "127.0.0.1", port: int = 8080, background_jobs: bool = True):
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    background_jobs: bool = True,
+    job_workers: int = 2,
+    job_backlog: int = 8,
+):
     """Run the app under wsgiref (blocking); returns never."""
     from wsgiref.simple_server import make_server
 
-    app = BWaveRApp(background_jobs=background_jobs)
+    app = BWaveRApp(
+        background_jobs=background_jobs,
+        job_workers=job_workers,
+        job_backlog=job_backlog,
+    )
     with make_server(host, port, app) as httpd:
         print(f"BWaveR web app listening on http://{host}:{port}/")
         httpd.serve_forever()

@@ -1,0 +1,279 @@
+"""Flat zero-copy container: equivalence with .npz, integrity, zero copies."""
+
+import json
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.index.builder import build_index
+from repro.index.flat import (
+    ALIGN,
+    MAGIC,
+    attach_index_from_buffer,
+    detect_index_format,
+    export_index,
+    flat_container_size,
+    load_any_index_auto,
+    load_index_auto,
+    load_index_flat,
+    load_multiref_index_flat,
+    pack_flat_into,
+    read_flat_manifest,
+    save_index_flat,
+    save_multiref_index_flat,
+    verify_flat_index,
+)
+from repro.index.multiref import MultiReferenceIndex
+from repro.index.serialization import IndexFormatError, load_index, save_index
+
+PATTERNS = ["ACG", "ACGT" * 10, "TTTTTTTT"]
+
+
+@pytest.fixture()
+def flat_path(tmp_path):
+    return tmp_path / "index.bwvr"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("backend", ["rrr", "occ"])
+    @pytest.mark.parametrize("locate", ["full", "sampled", "none"])
+    def test_matches_builder(self, small_text, flat_path, backend, locate):
+        index, _ = build_index(
+            small_text, sf=8, backend=backend, locate=locate, sa_sample_rate=8
+        )
+        save_index_flat(index, flat_path)
+        loaded = load_index_flat(flat_path)
+        pats = PATTERNS + [small_text[100:130], small_text[5:25]]
+        for pat in pats:
+            a, b = loaded.search(pat), index.search(pat)
+            assert (a.start, a.end, a.steps) == (b.start, b.end, b.steps)
+            if locate != "none":
+                assert loaded.locate(pat).tolist() == index.locate(pat).tolist()
+
+    def test_matches_npz_bit_for_bit(self, small_text, flat_path, tmp_path):
+        """Flat and .npz loads answer identically and report the same size."""
+        index, _ = build_index(small_text, b=15, sf=8)
+        save_index_flat(index, flat_path)
+        save_index(index, tmp_path / "index.npz")
+        flat = load_index_flat(flat_path)
+        npz = load_index(tmp_path / "index.npz")
+        for pat in PATTERNS + [small_text[i : i + 30] for i in range(0, 300, 97)]:
+            fa, na = flat.search(pat), npz.search(pat)
+            assert (fa.start, fa.end) == (na.start, na.end)
+            assert flat.locate(pat).tolist() == npz.locate(pat).tolist()
+        lo1, hi1, st1 = flat.search_batch(PATTERNS)
+        lo2, hi2, st2 = npz.search_batch(PATTERNS)
+        assert lo1.tolist() == lo2.tolist()
+        assert hi1.tolist() == hi2.tolist()
+        assert st1.tolist() == st2.tolist()
+        assert flat.size_in_bytes() == npz.size_in_bytes() == index.size_in_bytes()
+
+    def test_parameters_preserved(self, small_text, flat_path):
+        index, _ = build_index(small_text, b=10, sf=12)
+        save_index_flat(index, flat_path)
+        loaded = load_index_flat(flat_path)
+        assert loaded.backend.b == 10
+        assert loaded.backend.sf == 12
+
+    def test_sentinel_variant_preserved(self, small_text, flat_path):
+        index, _ = build_index(small_text, store_sentinel_in_tree=True, sf=8)
+        save_index_flat(index, flat_path)
+        loaded = load_index_flat(flat_path)
+        assert loaded.backend.store_sentinel_in_tree is True
+        pat = small_text[40:70]
+        assert loaded.count(pat) == index.count(pat)
+
+    def test_resave_of_loaded_index(self, small_text, flat_path, tmp_path):
+        """A flat-loaded index can itself be exported again."""
+        index, _ = build_index(small_text, sf=8)
+        save_index_flat(index, flat_path)
+        loaded = load_index_flat(flat_path)
+        save_index_flat(loaded, tmp_path / "again.bwvr")
+        assert (tmp_path / "again.bwvr").read_bytes() == flat_path.read_bytes()
+
+
+class TestZeroCopy:
+    def test_arrays_view_the_mapping(self, small_text, flat_path):
+        """Loaded structure arrays are views into one backing buffer."""
+        index, _ = build_index(small_text, sf=8)
+        save_index_flat(index, flat_path)
+        loaded = load_index_flat(flat_path)
+        root = loaded.backend.tree.root.bits
+        for arr in (root.classes, root.partial_sums, loaded.backend.C):
+            base = arr
+            while isinstance(base.base, np.ndarray):
+                base = base.base
+            assert isinstance(base, np.memmap)
+
+    def test_segments_are_aligned(self, small_text, flat_path):
+        index, _ = build_index(small_text, sf=8)
+        save_index_flat(index, flat_path)
+        mm = np.memmap(flat_path, dtype=np.uint8, mode="r")
+        _, entries, data_start = read_flat_manifest(mm)
+        assert data_start % ALIGN == 0
+        for entry in entries:
+            assert entry["offset"] % ALIGN == 0
+
+    def test_pack_into_buffer_attach(self, small_text):
+        """The same container attaches from any byte buffer (shm path)."""
+        index, _ = build_index(small_text, sf=8)
+        meta, segments = export_index(index)
+        size = flat_container_size(meta, segments)
+        buf = np.zeros(size, dtype=np.uint8)
+        assert pack_flat_into(buf, meta, segments) == size
+        attached = attach_index_from_buffer(buf, verify=True)
+        pat = small_text[20:50]
+        assert attached.count(pat) == index.count(pat)
+
+
+class TestIntegrity:
+    def test_verify_passes_on_clean_file(self, small_text, flat_path):
+        index, _ = build_index(small_text, sf=8)
+        save_index_flat(index, flat_path)
+        names = verify_flat_index(flat_path)
+        assert "bwt_codes" in names and "sa" in names
+
+    def test_corrupted_segment_rejected(self, small_text, flat_path):
+        index, _ = build_index(small_text, sf=8)
+        save_index_flat(index, flat_path)
+        raw = bytearray(flat_path.read_bytes())
+        raw[-3] ^= 0xFF  # flip a bit inside the last segment
+        flat_path.write_bytes(bytes(raw))
+        with pytest.raises(IndexFormatError, match="checksum"):
+            verify_flat_index(flat_path)
+        with pytest.raises(IndexFormatError, match="checksum"):
+            load_index_flat(flat_path, verify=True)
+        # Lazy open does not touch segment pages, so it still succeeds.
+        load_index_flat(flat_path)
+
+    def test_every_segment_checksummed(self, small_text, flat_path):
+        """Flipping any single segment trips verification."""
+        index, _ = build_index(small_text, sf=8)
+        save_index_flat(index, flat_path)
+        clean = flat_path.read_bytes()
+        mm = np.frombuffer(clean, dtype=np.uint8)
+        _, entries, data_start = read_flat_manifest(mm)
+        for entry in entries:
+            raw = bytearray(clean)
+            raw[data_start + entry["offset"]] ^= 0x01
+            flat_path.write_bytes(bytes(raw))
+            with pytest.raises(IndexFormatError, match="checksum"):
+                verify_flat_index(flat_path)
+
+    def test_bad_magic_rejected(self, small_text, flat_path):
+        flat_path.write_bytes(b"NOTANIDX" + b"\x00" * 64)
+        with pytest.raises(IndexFormatError, match="magic"):
+            load_index_flat(flat_path)
+
+    def test_truncated_file_rejected(self, small_text, flat_path):
+        index, _ = build_index(small_text, sf=8)
+        save_index_flat(index, flat_path)
+        raw = flat_path.read_bytes()
+        flat_path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(IndexFormatError, match="truncated"):
+            load_index_flat(flat_path)
+
+    def test_unsupported_version_rejected(self, small_text, flat_path):
+        index, _ = build_index(small_text, sf=8)
+        save_index_flat(index, flat_path)
+        raw = bytearray(flat_path.read_bytes())
+        raw[8:12] = struct.pack("<I", 99)
+        flat_path.write_bytes(bytes(raw))
+        with pytest.raises(IndexFormatError, match="version"):
+            load_index_flat(flat_path)
+
+    def test_corrupt_manifest_rejected(self, small_text, flat_path):
+        index, _ = build_index(small_text, sf=8)
+        save_index_flat(index, flat_path)
+        raw = bytearray(flat_path.read_bytes())
+        raw[20] ^= 0xFF  # inside the manifest JSON
+        flat_path.write_bytes(bytes(raw))
+        with pytest.raises(IndexFormatError):
+            load_index_flat(flat_path)
+
+    def test_manifest_crcs_present(self, small_text, flat_path):
+        index, _ = build_index(small_text, sf=8)
+        save_index_flat(index, flat_path)
+        raw = flat_path.read_bytes()
+        mm = np.frombuffer(raw, dtype=np.uint8)
+        _, entries, data_start = read_flat_manifest(mm)
+        for entry in entries:
+            seg = raw[
+                data_start + entry["offset"] : data_start + entry["offset"] + entry["nbytes"]
+            ]
+            assert (zlib.crc32(seg) & 0xFFFFFFFF) == entry["crc32"]
+
+
+class TestDetection:
+    def test_detect_both_formats(self, small_text, tmp_path):
+        index, _ = build_index(small_text, sf=8)
+        save_index_flat(index, tmp_path / "a.bwvr")
+        save_index(index, tmp_path / "a.npz")
+        assert detect_index_format(tmp_path / "a.bwvr") == "flat"
+        assert detect_index_format(tmp_path / "a.npz") == "npz"
+        assert (tmp_path / "a.bwvr").read_bytes()[:8] == MAGIC
+
+    def test_detect_garbage(self, tmp_path):
+        p = tmp_path / "junk"
+        p.write_bytes(b"garbage!")
+        with pytest.raises(IndexFormatError):
+            detect_index_format(p)
+
+    def test_auto_load_both(self, small_text, tmp_path):
+        index, _ = build_index(small_text, sf=8)
+        save_index_flat(index, tmp_path / "a.bwvr")
+        save_index(index, tmp_path / "a.npz")
+        pat = small_text[10:40]
+        assert load_index_auto(tmp_path / "a.bwvr").count(pat) == index.count(pat)
+        assert load_index_auto(tmp_path / "a.npz").count(pat) == index.count(pat)
+
+
+class TestMultiRef:
+    def test_round_trip(self, tmp_path):
+        multi = MultiReferenceIndex(
+            [("chr1", "ACGTACGTACGGTACA" * 10), ("chr2", "TTGACCAGT" * 12)], sf=8
+        )
+        path = tmp_path / "multi.bwvr"
+        save_multiref_index_flat(multi, path)
+        loaded = load_multiref_index_flat(path)
+        assert loaded.names == multi.names
+        assert loaded.lengths.tolist() == multi.lengths.tolist()
+        assert loaded.locate("ACGGTACA") == multi.locate("ACGGTACA")
+        assert loaded.count("TTGACCAGT") == multi.count("TTGACCAGT")
+
+    def test_wrong_loader_raises(self, small_text, tmp_path):
+        multi = MultiReferenceIndex([("c1", "ACGT" * 30)], sf=8)
+        mpath = tmp_path / "multi.bwvr"
+        save_multiref_index_flat(multi, mpath)
+        with pytest.raises(IndexFormatError, match="multi-reference"):
+            load_index_flat(mpath)
+        index, _ = build_index(small_text, sf=8)
+        spath = tmp_path / "single.bwvr"
+        save_index_flat(index, spath)
+        with pytest.raises(IndexFormatError, match="single-reference"):
+            load_multiref_index_flat(spath)
+
+    def test_auto_dispatch(self, small_text, tmp_path):
+        multi = MultiReferenceIndex([("c1", "ACGT" * 30)], sf=8)
+        save_multiref_index_flat(multi, tmp_path / "m.bwvr")
+        index, _ = build_index(small_text, sf=8)
+        save_index_flat(index, tmp_path / "s.bwvr")
+        assert isinstance(
+            load_any_index_auto(tmp_path / "m.bwvr"), MultiReferenceIndex
+        )
+        assert not isinstance(
+            load_any_index_auto(tmp_path / "s.bwvr"), MultiReferenceIndex
+        )
+
+
+class TestManifest:
+    def test_manifest_is_json_with_meta(self, small_text, flat_path):
+        index, _ = build_index(small_text, sf=8)
+        save_index_flat(index, flat_path)
+        raw = flat_path.read_bytes()
+        magic, version, mlen, data_start = struct.unpack("<8sIIQ", raw[:24])
+        doc = json.loads(raw[24 : 24 + mlen])
+        assert doc["meta"]["backend"] == "rrr"
+        assert {e["name"] for e in doc["segments"]} >= {"bwt_codes", "sa", "backend/C"}

@@ -76,6 +76,46 @@ class TestPackQueries:
             scalar = pack_query(seq, query_id=100 + i)
             assert np.array_equal(batch[i], scalar), i
 
+    def test_batch_matches_scalar_edge_lengths(self):
+        """Oracle equality at the length extremes the fold must handle."""
+        rng = np.random.default_rng(11)
+        seqs = [
+            "",
+            "A",
+            random_sequence(31, rng),
+            random_sequence(32, rng),
+            random_sequence(33, rng),
+            random_sequence(MAX_QUERY_BASES - 1, rng),
+            random_sequence(MAX_QUERY_BASES, rng),
+        ]
+        batch = pack_queries(seqs)
+        for i, seq in enumerate(seqs):
+            assert np.array_equal(batch[i], pack_query(seq, query_id=i)), len(seq)
+
+    def test_batch_matches_scalar_id_word_boundary(self):
+        """Ids straddle words 5 and 6; high bits must land in word 6."""
+        rng = np.random.default_rng(12)
+        seqs = [random_sequence(40, rng) for _ in range(6)]
+        for start_id in (0, (1 << 24) - 3, (1 << 31), (1 << 32) - len(seqs)):
+            batch = pack_queries(seqs, start_id=start_id)
+            for i, seq in enumerate(seqs):
+                scalar = pack_query(seq, query_id=start_id + i)
+                assert np.array_equal(batch[i], scalar), (start_id, i)
+
+    def test_batch_id_overflow_rejected(self):
+        with pytest.raises(ValueError, match="32 bits"):
+            pack_queries(["ACGT", "ACGT"], start_id=(1 << 32) - 1)
+        with pytest.raises(ValueError, match="32 bits"):
+            pack_queries(["ACGT"], start_id=-1)
+
+    def test_batch_matches_scalar_large(self):
+        """A big mixed batch stays bit-identical to the scalar packer."""
+        rng = np.random.default_rng(13)
+        seqs = [random_sequence(int(rng.integers(0, 177)), rng) for _ in range(500)]
+        batch = pack_queries(seqs, start_id=7)
+        expect = np.stack([pack_query(s, query_id=7 + i) for i, s in enumerate(seqs)])
+        assert np.array_equal(batch, expect)
+
     def test_batch_roundtrip(self):
         rng = np.random.default_rng(4)
         seqs = [random_sequence(60, rng) for _ in range(10)]

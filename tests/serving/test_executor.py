@@ -1,0 +1,115 @@
+"""BoundedExecutor: backlog cap, rejection, and drain behaviour."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serving.executor import BacklogFull, BoundedExecutor
+
+
+@pytest.fixture()
+def executor():
+    ex = BoundedExecutor(workers=1, backlog=2, name="test")
+    yield ex
+    ex.shutdown(wait=False)
+
+
+class TestSubmit:
+    def test_runs_submitted_work(self, executor):
+        done = threading.Event()
+        executor.submit(done.set)
+        assert done.wait(5.0)
+
+    def test_many_sequential_jobs_complete(self, executor):
+        hits = []
+        lock = threading.Lock()
+
+        def job(i):
+            with lock:
+                hits.append(i)
+
+        for i in range(20):
+            while True:
+                try:
+                    executor.submit(lambda i=i: job(i))
+                    break
+                except BacklogFull:
+                    time.sleep(0.01)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline and len(hits) < 20:
+            time.sleep(0.01)
+        assert sorted(hits) == list(range(20))
+
+    def test_rejects_beyond_backlog(self, executor):
+        release = threading.Event()
+        started = threading.Event()
+
+        def block():
+            started.set()
+            release.wait(10.0)
+
+        executor.submit(block)
+        assert started.wait(5.0)
+        # Worker busy; backlog=2 admits two queued jobs, then rejects.
+        executor.submit(lambda: None)
+        executor.submit(lambda: None)
+        with pytest.raises(BacklogFull):
+            executor.submit(lambda: None)
+        release.set()
+
+    def test_drains_after_rejection(self, executor):
+        release = threading.Event()
+        executor.submit(lambda: release.wait(10.0))
+        executor.submit(lambda: None)
+        executor.submit(lambda: None)
+        with pytest.raises(BacklogFull):
+            executor.submit(lambda: None)
+        release.set()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and executor.pending() > 0:
+            time.sleep(0.01)
+        assert executor.pending() == 0
+        done = threading.Event()
+        executor.submit(done.set)
+        assert done.wait(5.0)
+
+    def test_counts(self, executor):
+        release = threading.Event()
+        executor.submit(lambda: release.wait(10.0))
+        time.sleep(0.05)
+        executor.submit(lambda: None)
+        assert executor.pending() == 2
+        assert executor.queued() == 1
+        release.set()
+
+    def test_exceptions_do_not_kill_worker(self, executor):
+        def boom():
+            raise RuntimeError("job failed")
+
+        executor.submit(boom)
+        done = threading.Event()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            try:
+                executor.submit(done.set)
+                break
+            except BacklogFull:
+                time.sleep(0.01)
+        assert done.wait(5.0)
+
+
+class TestShutdown:
+    def test_shutdown_waits_for_pending(self):
+        ex = BoundedExecutor(workers=1, backlog=4, name="drain")
+        hits = []
+        ex.submit(lambda: hits.append(1))
+        ex.submit(lambda: hits.append(2))
+        ex.shutdown(wait=True)
+        assert sorted(hits) == [1, 2]
+
+    def test_submit_after_shutdown_raises(self):
+        ex = BoundedExecutor(workers=1, backlog=4, name="dead")
+        ex.shutdown(wait=True)
+        with pytest.raises(RuntimeError):
+            ex.submit(lambda: None)

@@ -1,0 +1,140 @@
+"""MapperPool: shared-memory worker pool correctness and lifecycle."""
+
+import glob
+
+import pytest
+
+from repro.index.builder import build_index
+from repro.index.flat import save_index_flat
+from repro.mapper.batch import run_mapping_batch
+from repro.mapper.mapper import Mapper
+from repro.serving.pool import MapperPool
+
+
+def _shm_names():
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+def _mapped(report):
+    return sum(1 for r in report.results if r.mapped)
+
+
+@pytest.fixture(scope="module")
+def pool_index(small_text):
+    idx, _ = build_index(small_text, sf=8)
+    return idx
+
+
+@pytest.fixture(scope="module")
+def reads(small_text):
+    return [small_text[i : i + 36] for i in range(0, 1400, 37)] + ["ACGT" * 9] * 3
+
+
+class TestCorrectness:
+    def test_run_batch_matches_single_process(self, pool_index, reads):
+        solo = run_mapping_batch(pool_index, reads)
+        with MapperPool(pool_index, workers=2) as pool:
+            outcome = pool.run_batch(reads)
+        assert outcome.n_reads == solo.n_reads
+        assert outcome.mapped == _mapped(solo)
+        assert outcome.op_counts == solo.op_counts
+
+    def test_map_reads_preserves_order_and_results(self, pool_index, reads):
+        solo = Mapper(pool_index, locate=True).map_reads(reads)
+        with MapperPool(pool_index, workers=2) as pool:
+            pooled = pool.map_reads(reads, locate=True)
+        assert len(pooled) == len(solo)
+        for a, b in zip(pooled, solo):
+            assert a.read_id == b.read_id
+            assert a.length == b.length
+            assert a.forward.count == b.forward.count
+            assert a.reverse.count == b.reverse.count
+            for ha, hb in ((a.forward, b.forward), (a.reverse, b.reverse)):
+                pa = None if ha.positions is None else sorted(ha.positions.tolist())
+                pb = None if hb.positions is None else sorted(hb.positions.tolist())
+                assert pa == pb
+
+    def test_flat_path_mode(self, pool_index, reads, tmp_path):
+        """Workers can mmap a flat file instead of attaching to shm."""
+        flat = tmp_path / "index.bwvr"
+        save_index_flat(pool_index, flat)
+        solo = run_mapping_batch(pool_index, reads)
+        with MapperPool(flat_path=flat, workers=2) as pool:
+            outcome = pool.run_batch(reads)
+        assert outcome.mapped == _mapped(solo)
+        assert outcome.op_counts == solo.op_counts
+
+    def test_empty_batch(self, pool_index):
+        with MapperPool(pool_index, workers=2) as pool:
+            outcome = pool.run_batch([])
+        assert outcome.n_reads == 0
+        assert outcome.mapped == 0
+
+    def test_multiple_batches_reuse_workers(self, pool_index, reads):
+        with MapperPool(pool_index, workers=2) as pool:
+            first = pool.run_batch(reads)
+            second = pool.run_batch(reads)
+        assert first.mapped == second.mapped
+        assert first.op_counts == second.op_counts
+
+
+class TestSpawnMethod:
+    def test_spawn_workers_match_fork(self, pool_index, reads):
+        """Spawned children re-import and attach; results are identical."""
+        solo = run_mapping_batch(pool_index, reads)
+        with MapperPool(pool_index, workers=2, start_method="spawn") as pool:
+            outcome = pool.run_batch(reads)
+        assert outcome.mapped == _mapped(solo)
+        assert outcome.op_counts == solo.op_counts
+
+
+class TestLifecycle:
+    def test_no_leaked_segments_after_close(self, pool_index, reads):
+        before = _shm_names()
+        pool = MapperPool(pool_index, workers=2)
+        pool.run_batch(reads)
+        pool.close()
+        assert _shm_names() == before
+
+    def test_no_leaked_segments_after_context_exit(self, pool_index, reads):
+        before = _shm_names()
+        with MapperPool(pool_index, workers=2) as pool:
+            pool.run_batch(reads)
+        assert _shm_names() == before
+
+    def test_restart_recovers_workers(self, pool_index, reads):
+        with MapperPool(pool_index, workers=2) as pool:
+            first = pool.run_batch(reads)
+            pool.restart()
+            second = pool.run_batch(reads)
+        assert first.mapped == second.mapped
+
+    def test_workers_are_daemons(self, pool_index):
+        with MapperPool(pool_index, workers=2) as pool:
+            assert all(p.daemon for p in pool._procs)
+            assert all(p.is_alive() for p in pool._procs)
+
+    def test_attach_seconds_recorded(self, pool_index):
+        with MapperPool(pool_index, workers=2) as pool:
+            assert len(pool.attach_seconds) == 2
+            assert all(t >= 0 for t in pool.attach_seconds)
+
+    def test_close_is_idempotent(self, pool_index):
+        pool = MapperPool(pool_index, workers=1)
+        pool.close()
+        pool.close()
+
+    def test_requires_exactly_one_source(self, pool_index, tmp_path):
+        with pytest.raises(ValueError):
+            MapperPool()
+        flat = tmp_path / "index.bwvr"
+        save_index_flat(pool_index, flat)
+        with pytest.raises(ValueError):
+            MapperPool(pool_index, flat_path=flat)
+
+    def test_mmap_mode_cleans_temp_file(self, pool_index, reads):
+        pool = MapperPool(pool_index, workers=1, mode="mmap")
+        path = pool.block.spec["path"]
+        pool.run_batch(reads)
+        pool.close()
+        assert not glob.glob(path)

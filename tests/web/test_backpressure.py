@@ -1,0 +1,110 @@
+"""Web job backpressure: bounded concurrency, 503 on overflow, /healthz cap."""
+
+import io
+import json
+import threading
+import time
+
+import pytest
+
+from repro.web.jobs import JobManager, JobStatus
+from repro.web.server import BWaveRApp
+
+REF = ">ref demo\n" + "ACGTAGGCTTAACGTCCATGAG" * 30 + "\n"
+FQ = "@r1\nACGTAGGCTTAACGTCCATGAG\n+\nIIIIIIIIIIIIIIIIIIIIII\n"
+
+
+def call(app, method, path, body=b"", ctype=""):
+    captured = {}
+
+    def start_response(status, headers):
+        captured["status"] = status
+        captured["headers"] = dict(headers)
+
+    env = {
+        "REQUEST_METHOD": method,
+        "PATH_INFO": path,
+        "CONTENT_LENGTH": str(len(body)),
+        "CONTENT_TYPE": ctype,
+        "wsgi.input": io.BytesIO(body),
+    }
+    payload = b"".join(app(env, start_response))
+    return captured["status"], captured["headers"], payload
+
+
+def submit_json(app):
+    doc = {"reference_fasta": REF, "reads_fastq": FQ, "sf": 4}
+    return call(app, "POST", "/jobs", json.dumps(doc).encode(), "application/json")
+
+
+@pytest.fixture()
+def blocked_run(monkeypatch):
+    """Replace the job pipeline with one that parks until released."""
+    release = threading.Event()
+
+    def fake_run(self, job):
+        job.status = JobStatus.RUNNING
+        release.wait(30.0)
+        job.status = JobStatus.DONE
+
+    monkeypatch.setattr(JobManager, "_run", fake_run)
+    yield release
+    release.set()
+
+
+class TestBackpressure:
+    def test_503_beyond_backlog(self, blocked_run):
+        app = BWaveRApp(background_jobs=True, job_workers=1, job_backlog=1)
+        # Worker slot + one backlog slot admit two jobs; the third bounces.
+        s1, _, _ = submit_json(app)
+        s2, _, _ = submit_json(app)
+        assert s1.startswith("202") or s1.startswith("201")
+        assert s2.startswith("202") or s2.startswith("201")
+        s3, headers, body = submit_json(app)
+        assert s3.startswith("503")
+        doc = json.loads(body)
+        assert "error" in doc
+        assert doc["concurrency"]["job_backlog"] == 1
+        assert headers.get("Retry-After")
+
+    def test_rejected_job_not_listed(self, blocked_run):
+        app = BWaveRApp(background_jobs=True, job_workers=1, job_backlog=0)
+        submit_json(app)
+        status, _, _ = submit_json(app)
+        assert status.startswith("503")
+        _, _, body = call(app, "GET", "/jobs")
+        assert len(json.loads(body)["jobs"]) == 1
+
+    def test_healthz_exposes_concurrency(self, blocked_run):
+        app = BWaveRApp(background_jobs=True, job_workers=3, job_backlog=5)
+        _, _, body = call(app, "GET", "/healthz")
+        doc = json.loads(body)
+        assert doc["concurrency"]["job_workers"] == 3
+        assert doc["concurrency"]["job_backlog"] == 5
+        assert doc["concurrency"]["pending"] == 0
+        submit_json(app)
+        _, _, body = call(app, "GET", "/healthz")
+        assert json.loads(body)["concurrency"]["pending"] == 1
+
+    def test_accepts_again_after_drain(self, blocked_run):
+        app = BWaveRApp(background_jobs=True, job_workers=1, job_backlog=0)
+        submit_json(app)
+        status, _, _ = submit_json(app)
+        assert status.startswith("503")
+        blocked_run.set()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if json.loads(call(app, "GET", "/healthz")[2])["concurrency"]["pending"] == 0:
+                break
+            time.sleep(0.01)
+        status, _, _ = submit_json(app)
+        assert not status.startswith("503")
+
+
+class TestForegroundUnaffected:
+    def test_synchronous_submit_ignores_backlog(self):
+        """Foreground jobs run inline and never see the executor cap."""
+        app = BWaveRApp(background_jobs=False, job_workers=1, job_backlog=0)
+        status, _, body = submit_json(app)
+        assert status.startswith("201")
+        assert json.loads(body)["status"] == "done"
