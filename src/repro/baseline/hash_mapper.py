@@ -90,7 +90,9 @@ class KmerHashMapper:
         """All occurrence positions of ``pattern`` (one strand)."""
         m = len(pattern)
         if m == 0:
-            return list(range(len(self.reference) + 1))
+            # Empty-pattern semantics shared with the FM index (DESIGN.md
+            # §9): one match per text position, sentinel row excluded.
+            return list(range(len(self.reference)))
         if m < self.k:
             # No anchor possible: honest fallback, a direct scan.
             out = []

@@ -21,9 +21,15 @@ from ..sequence.alphabet import reverse_complement
 
 
 def find_all(text: str, pattern: str) -> list[int]:
-    """All (overlapping) occurrence positions of ``pattern`` in ``text``."""
+    """All (overlapping) occurrence positions of ``pattern`` in ``text``.
+
+    The empty pattern occurs once at every text position — ``len(text)``
+    matches at ``0..len(text)-1`` (DESIGN.md §9's empty-pattern
+    semantics; the position past the end is *not* an occurrence, it is
+    the sentinel row of the BWT matrix).
+    """
     if not pattern:
-        return list(range(len(text) + 1))
+        return list(range(len(text)))
     out: list[int] = []
     start = 0
     while True:

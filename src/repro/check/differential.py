@@ -1,0 +1,722 @@
+"""The differential runner: every fast backend against its slow oracle.
+
+Each :class:`Check` pairs one clever implementation with the matching
+oracle from :mod:`repro.check.oracles` and knows how to
+
+* ``generate(rng, profile)`` a JSON-able adversarial input, and
+* ``verify(inputs)`` it — returning ``None`` on agreement or a *shrunk*
+  :class:`~repro.check.report.Counterexample` on mismatch.
+
+The generate/verify split is what makes corpus replay work: a stored
+counterexample is just an ``inputs`` document fed straight back into
+``verify``.  Exceptions inside ``verify`` count as failures (that is how
+a reintroduced crash-on-``N`` bug surfaces as a shrunk counterexample
+instead of killing the run).
+
+The check pairs, in fixed registry order (the order feeds the per-check
+RNG stream, so it must never be reshuffled silently):
+
+====== ======================================================
+rrr     ``RRRVector`` and ``BitVector`` vs popcount loops
+wavelet ``WaveletTree`` vs direct numpy counting
+fm      ``FMIndex.search/count/locate`` vs literal string scan
+batch   ``FMIndex.search_batch`` vs the scalar search
+mapper  ``Mapper.map_read``/``map_reads`` vs both-strand scan
+kernel  FPGA functional model vs the CPU mapper (bit-identical)
+flat    flat-container round-trip vs the in-memory index
+pool    ``MapperPool`` workers vs the in-process mapper
+====== ======================================================
+"""
+
+from __future__ import annotations
+
+import tempfile
+import traceback
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.bitvector import BitVector
+from ..core.rrr import RRRVector
+from ..core.wavelet_tree import WaveletTree
+from ..index.builder import build_index
+from ..index.flat import load_index_flat, save_index_flat
+from ..mapper.mapper import Mapper
+from ..mapper.results import REASON_INVALID_BASE, MappingResult
+from ..sequence.alphabet import AlphabetError, encode, is_valid
+from ..telemetry import get_telemetry
+from .generators import (
+    PROFILES,
+    CheckProfile,
+    gen_bitvector_case,
+    gen_pattern_corpus,
+    gen_read_corpus,
+    gen_text,
+    rng_for,
+)
+from .oracles import (
+    naive_occ,
+    naive_rank0,
+    naive_rank1,
+    naive_select1,
+    oracle_mapping,
+    oracle_occurrences,
+)
+from .report import (
+    CheckOutcome,
+    Counterexample,
+    SelfCheckReport,
+    load_corpus,
+    write_corpus_file,
+)
+from .shrink import shrink_bits, shrink_list, shrink_string
+
+#: A mismatch description: (expected, actual) rendered as strings.
+Mismatch = tuple[str, str]
+
+
+def _crash(exc: Exception) -> Mismatch:
+    tb = traceback.format_exception_only(type(exc), exc)[-1].strip()
+    return ("no exception", f"crash: {tb}")
+
+
+def _guard(fn: Callable[[], Mismatch | None]) -> Mismatch | None:
+    """Run a mismatch probe; an exception is itself a mismatch."""
+    try:
+        return fn()
+    except Exception as exc:  # noqa: BLE001 - crashes are findings here
+        return _crash(exc)
+
+
+class Check:
+    """One differential pair.  Subclasses fill in the four hooks."""
+
+    name: str = ""
+    #: Heavy checks (index rebuild + device model / file round-trip) run
+    #: every ``profile.heavy_every`` rounds.
+    heavy: bool = False
+    #: Once-per-run checks (process-spawning ones) run in round 0 only.
+    once: bool = False
+
+    def generate(self, rng: np.random.Generator, profile: CheckProfile) -> dict:
+        raise NotImplementedError
+
+    def mismatch(self, inputs: dict) -> Mismatch | None:
+        """Compare backend vs oracle on ``inputs``; ``None`` == agree."""
+        raise NotImplementedError
+
+    def shrink(self, inputs: dict) -> dict:
+        """Reduce a failing ``inputs`` while it keeps failing."""
+        return inputs
+
+    def snippet(self, inputs: dict) -> str:
+        """Ready-to-paste pytest body replaying ``inputs``."""
+        return (
+            f"def test_{self.name}_regression():\n"
+            f"    from repro.check.differential import get_check\n"
+            f"    assert get_check({self.name!r}).mismatch({inputs!r}) is None\n"
+        )
+
+    def verify(self, inputs: dict) -> Counterexample | None:
+        found = _guard(lambda: self.mismatch(inputs))
+        if found is None:
+            return None
+        small = self.shrink(inputs)
+        result = _guard(lambda: self.mismatch(small))
+        if result is None:  # shrinking over-shrank (flaky predicate): keep raw
+            small, result = inputs, found
+        expected, actual = result
+        return Counterexample(
+            check=self.name,
+            seed=-1,
+            round_index=-1,
+            inputs=small,
+            expected=expected,
+            actual=actual,
+            snippet=self.snippet(small),
+        )
+
+    def _still_fails(self, inputs: dict) -> bool:
+        return _guard(lambda: self.mismatch(inputs)) is not None
+
+
+# -- rrr ----------------------------------------------------------------------
+
+
+class RRRCheck(Check):
+    name = "rrr"
+
+    def generate(self, rng, profile):
+        bits, b, sf = gen_bitvector_case(rng)
+        return {"bits": bits.tolist(), "b": b, "sf": sf}
+
+    def mismatch(self, inputs):
+        bits = np.array(inputs["bits"], dtype=np.uint8)
+        b, sf = int(inputs["b"]), int(inputs["sf"])
+        n = bits.size
+        rrr = RRRVector(bits, b=b, sf=sf)
+        plain = BitVector(bits)
+        ones = int(np.count_nonzero(bits))
+        for label, vec in (("RRRVector", rrr), ("BitVector", plain)):
+            if vec.count() != ones:
+                return (f"{label}.count() == {ones}", f"{vec.count()}")
+            for p in range(n + 1):
+                want = naive_rank1(bits, p)
+                got = vec.rank1(p)
+                if got != want:
+                    return (f"{label}.rank1({p}) == {want}", f"{got}")
+                got0 = vec.rank0(p)
+                want0 = naive_rank0(bits, p)
+                if got0 != want0:
+                    return (f"{label}.rank0({p}) == {want0}", f"{got0}")
+            many = vec.rank1_many(np.arange(n + 1, dtype=np.int64))
+            want_many = np.cumsum(np.concatenate(([0], bits.astype(np.int64))))
+            if not np.array_equal(np.asarray(many, dtype=np.int64), want_many):
+                bad = int(np.flatnonzero(many != want_many)[0])
+                return (
+                    f"{label}.rank1_many at p={bad} == {int(want_many[bad])}",
+                    f"{int(many[bad])}",
+                )
+            for k in range(1, ones + 1):
+                want_s = naive_select1(bits, k)
+                got_s = vec.select1(k)
+                if got_s != want_s:
+                    return (f"{label}.select1({k}) == {want_s}", f"{got_s}")
+        for i in range(n):
+            if rrr.access(i) != int(bits[i]):
+                return (f"RRRVector.access({i}) == {int(bits[i])}", f"{rrr.access(i)}")
+        return None
+
+    def shrink(self, inputs):
+        b, sf = int(inputs["b"]), int(inputs["sf"])
+
+        def fails(arr: np.ndarray) -> bool:
+            return self._still_fails({"bits": arr.tolist(), "b": b, "sf": sf})
+
+        small = shrink_bits(np.array(inputs["bits"], dtype=np.uint8), fails)
+        return {"bits": small.tolist(), "b": b, "sf": sf}
+
+
+# -- wavelet ------------------------------------------------------------------
+
+
+class WaveletCheck(Check):
+    name = "wavelet"
+
+    def generate(self, rng, profile):
+        bits_case = gen_bitvector_case(rng)  # reuse the boundary b/sf draw
+        _, b, sf = bits_case
+        return {"text": gen_text(rng, profile), "b": b, "sf": sf}
+
+    @staticmethod
+    def _positions(n: int) -> list[int]:
+        """Deterministic probe positions: exhaustive when small, a strided
+        sample plus both ends otherwise (replay needs no RNG here)."""
+        if n <= 300:
+            return list(range(n + 1))
+        step = max(1, n // 256)
+        ps = set(range(0, n + 1, step))
+        ps.update((0, 1, n - 1, n))
+        return sorted(ps)
+
+    def mismatch(self, inputs):
+        codes = encode(inputs["text"])
+        b, sf = int(inputs["b"]), int(inputs["sf"])
+        tree = WaveletTree(codes, sigma=4, b=b, sf=sf)
+        n = codes.size
+        for sym in range(4):
+            total = naive_occ(codes, sym, n)
+            for p in self._positions(n):
+                want = naive_occ(codes, sym, p)
+                got = tree.rank(sym, p)
+                if got != want:
+                    return (f"rank({sym}, {p}) == {want}", f"{got}")
+            counts = tree.symbol_counts()
+            if int(counts[sym]) != total:
+                return (f"symbol_counts()[{sym}] == {total}", f"{int(counts[sym])}")
+            for k in (1, max(1, total // 2), total):
+                if total == 0:
+                    break
+                want_s = int(np.flatnonzero(codes == sym)[k - 1])
+                got_s = tree.select(sym, k)
+                if got_s != want_s:
+                    return (f"select({sym}, {k}) == {want_s}", f"{got_s}")
+        for i in self._positions(n)[:-1]:
+            if i < n and tree.access(i) != int(codes[i]):
+                return (f"access({i}) == {int(codes[i])}", f"{tree.access(i)}")
+        return None
+
+    def shrink(self, inputs):
+        b, sf = int(inputs["b"]), int(inputs["sf"])
+
+        def fails(t: str) -> bool:
+            return bool(t) and self._still_fails({"text": t, "b": b, "sf": sf})
+
+        return {"text": shrink_string(inputs["text"], fails), "b": b, "sf": sf}
+
+
+# -- fm (scalar search/count/locate) ------------------------------------------
+
+
+def _build(inputs: dict):
+    index, _ = build_index(
+        inputs["text"],
+        b=int(inputs.get("b", 15)),
+        sf=int(inputs.get("sf", 8)),
+        backend=inputs.get("backend", "rrr"),
+    )
+    return index
+
+
+class TextPatternsCheck(Check):
+    """Shared shape: a reference text plus a pattern/read corpus."""
+
+    corpus_key = "patterns"
+
+    def _corpus(self, rng, profile, text: str) -> list[str]:
+        raise NotImplementedError
+
+    def generate(self, rng, profile):
+        text = gen_text(rng, profile)
+        b = int(rng.choice([5, 15]))
+        sf = int(rng.choice([4, 8]))
+        backend = str(rng.choice(["rrr", "occ"]))
+        return {
+            "text": text,
+            self.corpus_key: self._corpus(rng, profile, text),
+            "b": b,
+            "sf": sf,
+            "backend": backend,
+        }
+
+    def shrink(self, inputs):
+        out = dict(inputs)
+
+        def corpus_fails(items: list) -> bool:
+            return bool(items) and self._still_fails({**out, self.corpus_key: items})
+
+        out[self.corpus_key] = shrink_list(list(inputs[self.corpus_key]), corpus_fails)
+
+        def text_fails(t: str) -> bool:
+            return bool(t) and self._still_fails({**out, "text": t})
+
+        out["text"] = shrink_string(out["text"], text_fails)
+
+        def single_fails(s: str) -> bool:
+            return corpus_fails([s])
+
+        if len(out[self.corpus_key]) == 1:  # shrink the lone survivor itself
+            out[self.corpus_key] = [
+                shrink_string(out[self.corpus_key][0], single_fails, budget=80)
+            ]
+            # A smaller survivor may free the text for further cuts (an
+            # empty read, say, no longer pins any substring of the text).
+            out["text"] = shrink_string(out["text"], text_fails, budget=120)
+        return out
+
+
+class FMCheck(TextPatternsCheck):
+    name = "fm"
+
+    def _corpus(self, rng, profile, text):
+        return gen_pattern_corpus(rng, text, profile.n_patterns)
+
+    def mismatch(self, inputs):
+        index = _build(inputs)
+        text = inputs["text"]
+        for pat in inputs["patterns"]:
+            want = oracle_occurrences(text, pat)
+            if want is None:
+                # Raw index queries must reject invalid patterns loudly
+                # (the forgiving path lives in the mapper, not here).
+                try:
+                    got = index.count(pat)
+                except AlphabetError:
+                    continue
+                return (f"count({pat!r}) raises AlphabetError", f"returned {got}")
+            got = index.count(pat)
+            if got != len(want):
+                return (f"count({pat!r}) == {len(want)}", f"{got}")
+            res = index.search(pat)
+            if res.end - res.start != len(want):
+                return (
+                    f"search({pat!r}) interval width {len(want)}",
+                    f"[{res.start}, {res.end})",
+                )
+            if res.start < 0 or res.end > index.n_rows:
+                return (
+                    f"search({pat!r}) interval within [0, {index.n_rows}]",
+                    f"[{res.start}, {res.end})",
+                )
+            positions = sorted(int(p) for p in index.locate(pat))
+            if positions != want:
+                return (f"locate({pat!r}) == {want}", f"{positions}")
+        return None
+
+
+# -- batch vs scalar ----------------------------------------------------------
+
+
+class BatchCheck(TextPatternsCheck):
+    name = "batch"
+
+    def _corpus(self, rng, profile, text):
+        # search_batch shares the raw-index contract: invalid patterns
+        # raise, so the differential corpus holds only encodable ones.
+        return gen_pattern_corpus(
+            rng, text, profile.n_patterns, include_invalid=False
+        )
+
+    def mismatch(self, inputs):
+        index = _build(inputs)
+        patterns = list(inputs["patterns"])
+        lo, hi, steps = index.search_batch(patterns)
+        for i, pat in enumerate(patterns):
+            res = index.search(pat)
+            got = (int(lo[i]), int(hi[i]), int(steps[i]))
+            want = (res.start, res.end, res.steps)
+            if got != want:
+                return (
+                    f"search_batch[{i}] ({pat!r}) == scalar {want}",
+                    f"{got}",
+                )
+        return None
+
+
+# -- mapper vs both-strand scan -----------------------------------------------
+
+
+def _result_fingerprint(r: MappingResult) -> tuple:
+    f, v = r.forward.interval, r.reverse.interval
+    return (f.start, f.end, v.start, v.end, r.reason)
+
+
+class MapperCheck(TextPatternsCheck):
+    name = "mapper"
+    corpus_key = "reads"
+
+    def _corpus(self, rng, profile, text):
+        return gen_read_corpus(rng, text, profile.n_reads)
+
+    def mismatch(self, inputs):
+        index = _build(inputs)
+        mapper = Mapper(index, locate=True)
+        text, reads = inputs["text"], list(inputs["reads"])
+        scalar = [mapper.map_read(s, read_id=i) for i, s in enumerate(reads)]
+        for i, (read, res) in enumerate(zip(reads, scalar)):
+            want = oracle_mapping(text, read)
+            if want is None:
+                if res.reason != REASON_INVALID_BASE:
+                    return (
+                        f"map_read({read!r}).reason == {REASON_INVALID_BASE!r}",
+                        f"{res.reason!r} (mapped={res.mapped})",
+                    )
+                if res.mapped:
+                    return (f"invalid read {read!r} unmapped", "mapped")
+                continue
+            fwd_want, rc_want = want
+            got_fwd = sorted(int(p) for p in (res.forward.positions if res.forward.positions is not None else []))
+            got_rc = sorted(int(p) for p in (res.reverse.positions if res.reverse.positions is not None else []))
+            if got_fwd != fwd_want:
+                return (f"map_read({read!r}) forward at {fwd_want}", f"{got_fwd}")
+            if got_rc != rc_want:
+                return (f"map_read({read!r}) reverse at {rc_want}", f"{got_rc}")
+        # One invalid read must never poison the batch path, and batching
+        # must not change any answer.
+        batched = mapper.map_reads(reads, batch=True)
+        if len(batched) != len(scalar):
+            return (f"map_reads returns {len(scalar)} results", f"{len(batched)}")
+        for i, (a, b) in enumerate(zip(scalar, batched)):
+            if _result_fingerprint(a) != _result_fingerprint(b):
+                return (
+                    f"batched result {i} ({reads[i]!r}) == scalar "
+                    f"{_result_fingerprint(a)}",
+                    f"{_result_fingerprint(b)}",
+                )
+        return None
+
+
+# -- FPGA kernel vs CPU mapper ------------------------------------------------
+
+
+class KernelCheck(TextPatternsCheck):
+    name = "kernel"
+    corpus_key = "reads"
+    heavy = True
+
+    def _corpus(self, rng, profile, text):
+        return gen_read_corpus(rng, text, profile.n_reads)
+
+    def generate(self, rng, profile):
+        inputs = super().generate(rng, profile)
+        inputs["backend"] = "rrr"  # the kernel holds the succinct structure
+        return inputs
+
+    def mismatch(self, inputs):
+        from ..fpga.accelerator import FPGAAccelerator
+
+        index = _build(inputs)
+        mapper = Mapper(index, locate=False)
+        reads = list(inputs["reads"])
+        acc = FPGAAccelerator.for_index(index)
+        run = acc.map_batch(reads)
+        outcomes = sorted(run.kernel_run.outcomes, key=lambda o: o.query_id)
+        if len(outcomes) != len(reads):
+            return (f"{len(reads)} kernel outcomes", f"{len(outcomes)}")
+        for i, (read, out) in enumerate(zip(reads, outcomes)):
+            if out.query_id != i:
+                return (f"outcome {i} has query_id {i}", f"{out.query_id}")
+            if not is_valid(read):
+                if out.mapped or out.fwd_end or out.rc_end:
+                    return (
+                        f"invalid read {read!r} -> all-zero outcome",
+                        f"fwd=[{out.fwd_start},{out.fwd_end}) "
+                        f"rc=[{out.rc_start},{out.rc_end})",
+                    )
+                continue
+            res = mapper.map_read(read, read_id=i)
+            want = (
+                res.forward.interval.start, res.forward.interval.end,
+                res.reverse.interval.start, res.reverse.interval.end,
+            )
+            got = (out.fwd_start, out.fwd_end, out.rc_start, out.rc_end)
+            if got != want:
+                return (f"kernel intervals for {read!r} == CPU {want}", f"{got}")
+        return None
+
+
+# -- flat container round-trip ------------------------------------------------
+
+
+class FlatCheck(TextPatternsCheck):
+    name = "flat"
+    heavy = True
+
+    def _corpus(self, rng, profile, text):
+        return gen_pattern_corpus(rng, text, profile.n_patterns, include_invalid=False)
+
+    def mismatch(self, inputs):
+        mem = _build(inputs)
+        with tempfile.TemporaryDirectory(prefix="selfcheck-flat-") as tmp:
+            path = Path(tmp) / "index.bwvr"
+            save_index_flat(mem, path)
+            mapped = load_index_flat(path, verify=True)
+            for pat in inputs["patterns"]:
+                a, b = mem.search(pat), mapped.search(pat)
+                if (a.start, a.end) != (b.start, b.end):
+                    return (
+                        f"mmap search({pat!r}) == in-memory [{a.start}, {a.end})",
+                        f"[{b.start}, {b.end})",
+                    )
+                pa = sorted(int(p) for p in mem.locate(pat))
+                pb = sorted(int(p) for p in mapped.locate(pat))
+                if pa != pb:
+                    return (f"mmap locate({pat!r}) == {pa}", f"{pb}")
+            del mapped  # release the memmap before the directory goes away
+        return None
+
+
+# -- pool vs in-process mapper ------------------------------------------------
+
+
+class PoolCheck(TextPatternsCheck):
+    name = "pool"
+    corpus_key = "reads"
+    once = True
+
+    def _corpus(self, rng, profile, text):
+        return gen_read_corpus(rng, text, profile.n_reads)
+
+    def generate(self, rng, profile):
+        inputs = super().generate(rng, profile)
+        inputs["backend"] = "rrr"
+        return inputs
+
+    def mismatch(self, inputs):
+        from ..serving.pool import MapperPool
+
+        index = _build(inputs)
+        mapper = Mapper(index, locate=True)
+        reads = list(inputs["reads"])
+        local = [mapper.map_read(s, read_id=i) for i, s in enumerate(reads)]
+        with MapperPool(index=index, workers=2) as pool:
+            remote = pool.map_reads(reads, locate=True)
+        if len(remote) != len(local):
+            return (f"{len(local)} pool results", f"{len(remote)}")
+        remote = sorted(remote, key=lambda r: r.read_id)
+        for i, (a, b) in enumerate(zip(local, remote)):
+            if _result_fingerprint(a) != _result_fingerprint(b):
+                return (
+                    f"pool result {i} ({reads[i]!r}) == local "
+                    f"{_result_fingerprint(a)}",
+                    f"{_result_fingerprint(b)}",
+                )
+        return None
+
+    def shrink(self, inputs):
+        # Every probe spawns worker processes; keep the budget tiny and
+        # skip the text phase (the read list is what usually matters).
+        def fails(items: list) -> bool:
+            return bool(items) and self._still_fails({**inputs, "reads": items})
+
+        reads = shrink_list(list(inputs["reads"]), fails, budget=20)
+        return {**inputs, "reads": reads}
+
+
+#: Registry order is load-bearing: it feeds ``rng_for``'s check index.
+ALL_CHECKS: tuple[Check, ...] = (
+    RRRCheck(),
+    WaveletCheck(),
+    FMCheck(),
+    BatchCheck(),
+    MapperCheck(),
+    KernelCheck(),
+    FlatCheck(),
+    PoolCheck(),
+)
+
+CHECKS_BY_NAME: dict[str, Check] = {c.name: c for c in ALL_CHECKS}
+
+
+def get_check(name: str) -> Check:
+    """Registry lookup (used by replay and by emitted pytest snippets)."""
+    try:
+        return CHECKS_BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown check {name!r}; have {sorted(CHECKS_BY_NAME)}"
+        ) from None
+
+
+class SelfCheck:
+    """The differential self-check runner behind ``repro selfcheck``."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        profile: str | CheckProfile = "default",
+        checks: Sequence[str] | None = None,
+        corpus_dir: str | Path | None = None,
+        max_failures_per_check: int = 1,
+    ):
+        self.seed = int(seed)
+        self.profile = (
+            profile if isinstance(profile, CheckProfile) else PROFILES[profile]
+        )
+        names = list(checks) if checks else [c.name for c in ALL_CHECKS]
+        self.checks = [get_check(n) for n in names]
+        self.corpus_dir = Path(corpus_dir) if corpus_dir else None
+        self.max_failures_per_check = max_failures_per_check
+
+    def _due(self, check: Check, round_index: int) -> bool:
+        if check.once:
+            return round_index == 0 and self.profile.include_pool
+        if check.heavy:
+            return round_index % self.profile.heavy_every == 0
+        return True
+
+    def run(
+        self, rounds: int, progress: Callable[[str], None] | None = None
+    ) -> SelfCheckReport:
+        tel = get_telemetry()
+        report = SelfCheckReport(
+            seed=self.seed, rounds=rounds, profile=self.profile.name
+        )
+        outcomes = {c.name: CheckOutcome(name=c.name) for c in self.checks}
+        report.outcomes = list(outcomes.values())
+        check_index = {c.name: i for i, c in enumerate(ALL_CHECKS)}
+        for r in range(rounds):
+            for check in self.checks:
+                out = outcomes[check.name]
+                if not self._due(check, r):
+                    continue
+                if len(out.failures) >= self.max_failures_per_check:
+                    continue
+                rng = rng_for(self.seed, r, check_index[check.name])
+                cx = _guarded_round(check, rng, self.profile)
+                out.rounds += 1
+                if tel.enabled:
+                    tel.metrics.counter(
+                        "selfcheck_rounds_total",
+                        "Differential self-check rounds executed",
+                        labelnames=("check",),
+                    ).inc(check=check.name)
+                if cx is None:
+                    continue
+                cx.seed, cx.round_index = self.seed, r
+                out.failures.append(cx)
+                if tel.enabled:
+                    tel.metrics.counter(
+                        "selfcheck_failures_total",
+                        "Differential self-check mismatches found",
+                        labelnames=("check",),
+                    ).inc(check=check.name)
+                if self.corpus_dir is not None:
+                    report.corpus_written.append(
+                        write_corpus_file(cx, self.corpus_dir)
+                    )
+                if progress is not None:
+                    progress(cx.describe())
+        return report
+
+    def replay(self, corpus_dir: str | Path) -> SelfCheckReport:
+        """Re-verify every stored counterexample (the regression guard)."""
+        tel = get_telemetry()
+        report = SelfCheckReport(seed=self.seed, rounds=0, profile="replay")
+        outcomes: dict[str, CheckOutcome] = {}
+        for doc in load_corpus(corpus_dir):
+            name = doc["check"]
+            if name not in CHECKS_BY_NAME:
+                continue
+            out = outcomes.setdefault(name, CheckOutcome(name=name))
+            check = CHECKS_BY_NAME[name]
+            found = _guard(lambda: check.mismatch(doc["inputs"]))
+            out.rounds += 1
+            if tel.enabled:
+                tel.metrics.counter(
+                    "selfcheck_rounds_total",
+                    "Differential self-check rounds executed",
+                    labelnames=("check",),
+                ).inc(check=name)
+            if found is not None:
+                expected, actual = found
+                out.failures.append(
+                    Counterexample(
+                        check=name,
+                        seed=int(doc.get("seed", -1)),
+                        round_index=int(doc.get("round", -1)),
+                        inputs=doc["inputs"],
+                        expected=expected,
+                        actual=actual,
+                        notes=f"replayed from {doc.get('_path', 'corpus')}",
+                    )
+                )
+                if tel.enabled:
+                    tel.metrics.counter(
+                        "selfcheck_failures_total",
+                        "Differential self-check mismatches found",
+                        labelnames=("check",),
+                    ).inc(check=name)
+        report.outcomes = list(outcomes.values())
+        return report
+
+
+def _guarded_round(
+    check: Check, rng: np.random.Generator, profile: CheckProfile
+) -> Counterexample | None:
+    """One generate+verify round; generation crashes become findings too."""
+    try:
+        inputs = check.generate(rng, profile)
+    except Exception as exc:  # noqa: BLE001
+        expected, actual = _crash(exc)
+        return Counterexample(
+            check=check.name,
+            seed=-1,
+            round_index=-1,
+            inputs={},
+            expected=expected,
+            actual=actual,
+            notes="generator crashed before verification",
+        )
+    return check.verify(inputs)

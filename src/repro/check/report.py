@@ -1,0 +1,134 @@
+"""Counterexample rendering: human-readable, pytest-ready, corpus-stored.
+
+A failing differential check produces a :class:`Counterexample` carrying
+the *shrunk* inputs, what the oracle expected, and what the backend
+answered.  Three renderings exist:
+
+* :meth:`Counterexample.describe` — the terminal report;
+* :meth:`Counterexample.to_pytest` — a ready-to-paste regression test
+  (the check that found the bug supplies the assertion body);
+* :func:`write_corpus_file` — a JSON corpus entry under ``tests/corpus/``
+  that ``repro selfcheck --replay`` (and the corpus regression test)
+  re-executes on every run, fuzzbench-style.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Corpus schema version, bumped on incompatible input-encoding changes.
+CORPUS_VERSION = 1
+
+
+@dataclass
+class Counterexample:
+    """One shrunk, reproducible differential failure."""
+
+    check: str
+    seed: int
+    round_index: int
+    inputs: dict          #: JSON-able inputs (text/pattern/bits/reads/...)
+    expected: str
+    actual: str
+    snippet: str = ""     #: ready-to-paste pytest test body
+    notes: str = ""
+
+    def describe(self) -> str:
+        lines = [
+            f"FAIL [{self.check}] seed={self.seed} round={self.round_index}",
+            f"  inputs:   {json.dumps(self.inputs, sort_keys=True)}",
+            f"  expected: {self.expected}",
+            f"  actual:   {self.actual}",
+        ]
+        if self.notes:
+            lines.append(f"  note:     {self.notes}")
+        if self.snippet:
+            lines.append("  regression test (paste into tests/):")
+            lines.extend("    " + ln for ln in self.snippet.splitlines())
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "version": CORPUS_VERSION,
+            "check": self.check,
+            "seed": self.seed,
+            "round": self.round_index,
+            "inputs": self.inputs,
+            "expected": self.expected,
+            "actual": self.actual,
+        }
+
+    @property
+    def corpus_name(self) -> str:
+        return f"{self.check}-seed{self.seed}-round{self.round_index}.json"
+
+
+@dataclass
+class CheckOutcome:
+    """Per-check tally of one selfcheck run."""
+
+    name: str
+    rounds: int = 0
+    failures: list[Counterexample] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@dataclass
+class SelfCheckReport:
+    """Aggregate outcome of one :meth:`SelfCheck.run`."""
+
+    seed: int
+    rounds: int
+    profile: str
+    outcomes: list[CheckOutcome] = field(default_factory=list)
+    corpus_written: list[Path] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    @property
+    def failures(self) -> list[Counterexample]:
+        return [cx for o in self.outcomes for cx in o.failures]
+
+    def summary_lines(self) -> list[str]:
+        width = max((len(o.name) for o in self.outcomes), default=8)
+        lines = [
+            f"selfcheck: seed={self.seed} rounds={self.rounds} profile={self.profile}"
+        ]
+        for o in self.outcomes:
+            status = "ok" if o.ok else f"FAIL ({len(o.failures)})"
+            lines.append(f"  {o.name:<{width}}  {o.rounds:>5} rounds  {status}")
+        lines.append("selfcheck: PASS" if self.ok else "selfcheck: FAIL")
+        return lines
+
+
+def write_corpus_file(cx: Counterexample, corpus_dir: str | Path) -> Path:
+    """Persist a counterexample as a corpus entry; returns the path."""
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    path = corpus_dir / cx.corpus_name
+    path.write_text(json.dumps(cx.to_json(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_corpus(corpus_dir: str | Path) -> list[dict]:
+    """Load every corpus entry (sorted by name for determinism)."""
+    corpus_dir = Path(corpus_dir)
+    if not corpus_dir.is_dir():
+        return []
+    out = []
+    for path in sorted(corpus_dir.glob("*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(doc, dict) and "check" in doc and "inputs" in doc:
+            doc["_path"] = str(path)
+            out.append(doc)
+    return out

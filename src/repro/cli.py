@@ -14,6 +14,10 @@ downstream user needs:
 ``simulate``
     Generate a synthetic reference FASTA and/or a mapping-ratio-
     controlled FASTQ (the evaluation's workload generator).
+``selfcheck``
+    Run the differential self-check harness: seeded adversarial inputs
+    through every backend/oracle pair, shrunk counterexamples on
+    mismatch (DESIGN.md §9).
 ``serve``
     Start the web application.
 
@@ -328,6 +332,29 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    from .check import PROFILES, SelfCheck
+
+    checks = args.checks.split(",") if args.checks else None
+    sc = SelfCheck(
+        seed=args.seed,
+        profile=PROFILES[args.profile],
+        checks=checks,
+        corpus_dir=args.corpus_dir,
+    )
+    if args.replay:
+        report = sc.replay(args.replay)
+        if not report.outcomes:
+            print(f"selfcheck: no corpus entries under {args.replay}")
+            return 0
+    else:
+        report = sc.run(args.rounds, progress=lambda msg: print(msg, file=sys.stderr))
+    print("\n".join(report.summary_lines()))
+    for path in report.corpus_written:
+        print(f"counterexample stored: {path}")
+    return 0 if report.ok else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .web.server import serve
 
@@ -459,6 +486,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--read-length", type=int, default=100)
     p.add_argument("--mapping-ratio", type=float, default=1.0)
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "selfcheck",
+        help="run the differential self-check harness (DESIGN.md §9)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    p.add_argument(
+        "--rounds", type=int, default=50,
+        help="rounds per check pair (default 50)",
+    )
+    p.add_argument(
+        "--profile", choices=("quick", "default", "thorough"), default="default",
+        help="input-size/expense profile (default: default)",
+    )
+    p.add_argument(
+        "--checks", default=None,
+        help="comma-separated subset of check names (default: all)",
+    )
+    p.add_argument(
+        "--corpus-dir", type=Path, default=None,
+        help="store shrunk counterexamples here (e.g. tests/corpus)",
+    )
+    p.add_argument(
+        "--replay", type=Path, default=None, metavar="CORPUS_DIR",
+        help="re-verify stored counterexamples instead of fuzzing",
+    )
+    _add_telemetry_args(p)
+    p.set_defaults(func=_cmd_selfcheck)
 
     p = sub.add_parser("serve", help="start the web application")
     p.add_argument("--host", default="127.0.0.1")

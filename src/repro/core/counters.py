@@ -48,6 +48,9 @@ class OpCounters:
     queries:
         Query sequences processed (a read and its reverse complement count
         as two).
+    reads_invalid:
+        Reads rejected by the alphabet policy (``N``/IUPAC/garbage
+        characters) and reported unmapped instead of searched.
     occ_checkpoint_ranks:
         Rank queries answered by the checkpointed Occ-table baseline.
     occ_scan_chars:
@@ -64,6 +67,7 @@ class OpCounters:
     queries: int = 0
     occ_checkpoint_ranks: int = 0
     occ_scan_chars: int = 0
+    reads_invalid: int = 0
 
     def reset(self) -> None:
         """Zero every counter in place."""

@@ -42,7 +42,7 @@ from ..faults import (
 )
 from ..index.fm_index import FMIndex
 from ..mapper.query import pack_queries
-from ..sequence.alphabet import reverse_complement
+from ..sequence.alphabet import is_valid, reverse_complement
 from ..telemetry import correlate, get_telemetry, new_run_id
 from .cost_model import DEFAULT_COST_MODEL, FPGACostModel
 from .device import ALVEO_U200, DeviceHealth, DeviceSpec
@@ -290,10 +290,70 @@ class FPGAAccelerator:
     def _dispatch_batch(
         self, queue: CommandQueue, chunk: list, start: int, device_ok: bool
     ) -> tuple[KernelRun, dict | None]:
-        """One batch through the device ladder, or straight to the CPU."""
-        if device_ok:
-            return self._run_batch_with_recovery(queue, chunk, start)
-        return self._cpu_pass(chunk, start), None
+        """One batch through the device ladder, or straight to the CPU.
+
+        Reads with characters outside the 2-bit alphabet cannot be packed
+        into query records; they bypass the device (and the CPU fallback)
+        and are reported as unmapped outcomes — the accelerator-side half
+        of the mapper's N-policy (DESIGN.md §9).
+        """
+        valid_idx = [i for i, s in enumerate(chunk) if is_valid(s)]
+        if len(valid_idx) == len(chunk):
+            if device_ok:
+                return self._run_batch_with_recovery(queue, chunk, start)
+            return self._cpu_pass(chunk, start), None
+        self._record_invalid_reads(len(chunk) - len(valid_idx))
+        sub = [chunk[i] for i in valid_idx]
+        if not sub:
+            run, stats = KernelRun(outcomes=[], hw_steps_total=0, sw_steps_total=0), None
+        elif device_ok:
+            run, stats = self._run_batch_with_recovery(queue, sub, start)
+        else:
+            run, stats = self._cpu_pass(sub, start), None
+        return self._merge_invalid(run, len(chunk), start, valid_idx), stats
+
+    def _record_invalid_reads(self, n: int) -> None:
+        self.kernel.structure.counters.reads_invalid += n
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter(
+                "reads_invalid_total",
+                "Reads rejected by the alphabet policy (reported unmapped)",
+                labelnames=("path",),
+            ).inc(n, path="fpga")
+
+    @staticmethod
+    def _merge_invalid(
+        run: KernelRun, chunk_len: int, start: int, valid_idx: list[int]
+    ) -> KernelRun:
+        """Re-number device outcomes to batch positions and splice in
+        all-empty outcomes for the screened-out reads."""
+        outcomes: list[QueryOutcome | None] = [None] * chunk_len
+        for j, i in enumerate(valid_idx):
+            o = run.outcomes[j]
+            outcomes[i] = QueryOutcome(
+                query_id=start + i,
+                fwd_start=o.fwd_start,
+                fwd_end=o.fwd_end,
+                rc_start=o.rc_start,
+                rc_end=o.rc_end,
+                fwd_steps=o.fwd_steps,
+                rc_steps=o.rc_steps,
+            )
+        for i in range(chunk_len):
+            if outcomes[i] is None:
+                outcomes[i] = QueryOutcome(
+                    query_id=start + i,
+                    fwd_start=0, fwd_end=0, rc_start=0, rc_end=0,
+                    fwd_steps=0, rc_steps=0,
+                )
+        return KernelRun(
+            outcomes=outcomes,  # type: ignore[arg-type]
+            hw_steps_total=run.hw_steps_total,
+            sw_steps_total=run.sw_steps_total,
+            op_counts=run.op_counts,
+            bram_traffic=run.bram_traffic,
+        )
 
     def _record_run_telemetry(self, tel, run: AcceleratorRun) -> None:
         """Mirror the run's fault/retry/fallback ledger into the registry."""

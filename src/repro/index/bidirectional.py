@@ -125,9 +125,17 @@ class BidirectionalFMIndex:
 
     # -- searches --------------------------------------------------------------------
 
+    def empty_pattern(self) -> BiInterval:
+        """The empty pattern's interval: every row but the sentinel's, in
+        both orientations (DESIGN.md §9) — ``count == len(text)``."""
+        lo = min(1, self.n_rows)
+        return BiInterval(lo, self.n_rows, lo, self.n_rows)
+
     def search(self, pattern) -> BiInterval:
         """Exact search (leftward), returning the synchronized interval."""
         codes = encode(pattern) if isinstance(pattern, str) else np.asarray(pattern)
+        if codes.size == 0:
+            return self.empty_pattern()
         iv = self.whole()
         for a in codes[::-1]:
             iv = self.extend_left(iv, int(a))
@@ -145,7 +153,7 @@ class BidirectionalFMIndex:
         codes = encode(pattern) if isinstance(pattern, str) else np.asarray(pattern)
         m = int(codes.size)
         if m == 0:
-            return self.whole()
+            return self.empty_pattern()
         split = m // 2 if split is None else split
         if not 0 <= split < m:
             raise ValueError(f"split {split} out of range [0, {m})")

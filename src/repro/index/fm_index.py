@@ -125,11 +125,17 @@ class FMIndex:
     def search(self, pattern) -> SearchResult:
         """Backward search; returns the SA interval of the pattern.
 
-        The empty pattern matches every row (the full interval), matching
-        the recurrence's base case.
+        Empty-pattern semantics (DESIGN.md §9): the empty pattern occurs
+        once at every *text* position, so its interval is the full matrix
+        minus the sentinel row — ``[1, n_rows)`` — giving
+        ``count("") == len(text)`` and ``locate("")`` the positions
+        ``0..len(text)-1``.  The recurrence's base case for non-empty
+        patterns is still the full ``[0, n_rows)`` interval.
         """
         codes = self._codes(pattern)
         self.counters.queries += 1
+        if codes.size == 0:
+            return SearchResult(start=min(1, self.n_rows), end=self.n_rows, steps=0)
         lo, hi = 0, self.n_rows
         steps = 0
         backend = self.backend
@@ -188,6 +194,9 @@ class FMIndex:
                 mat[i, : c.size] = c[::-1].astype(np.int64)
         lo = np.zeros(nq, dtype=np.int64)
         hi = np.full(nq, self.n_rows, dtype=np.int64)
+        # Empty patterns resolve immediately to the sentinel-free interval
+        # [1, n_rows) — one match per text position, same as `search`.
+        lo[lengths == 0] = min(1, self.n_rows)
         steps = np.zeros(nq, dtype=np.int64)
         active = lengths > 0
         backend = self.backend

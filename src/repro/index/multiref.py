@@ -23,7 +23,7 @@ from typing import Sequence
 import numpy as np
 
 from ..core.counters import OpCounters
-from ..sequence.alphabet import reverse_complement
+from ..sequence.alphabet import is_valid, reverse_complement
 from .builder import Backend, build_index
 
 
@@ -138,7 +138,14 @@ class MultiReferenceIndex:
         return len(self.locate(pattern))
 
     def map_read(self, read: str, read_id: int = 0) -> MultiRefMapping:
-        """Both-strand mapping with per-sequence coordinates."""
+        """Both-strand mapping with per-sequence coordinates.
+
+        Invalid reads (``N``/IUPAC bases) come back unmapped, matching
+        the single-reference mapper's N-policy.
+        """
+        if not is_valid(read):
+            self.index.counters.reads_invalid += 1
+            return MultiRefMapping(read_id=read_id, hits=())
         hits: list[ReferenceHit] = []
         for strand, seq in (("+", read), ("-", reverse_complement(read))):
             for name, pos in self.locate(seq):

@@ -100,6 +100,25 @@ class ReadSetQC:
         return out
 
 
+def partition_invalid_reads(
+    reads: Sequence[str] | Sequence[FastqRecord],
+) -> tuple[list, list]:
+    """Split a read set into ``(mappable, invalid)`` by alphabet validity.
+
+    The optional pre-mapping QC filter of the N-policy (DESIGN.md §9):
+    the exact mapper reports invalid reads unmapped with a reason code
+    anyway, but dropping them up front avoids shipping them through a
+    pool or the FPGA packing path at all.  Items keep their input type
+    (plain strings or :class:`FastqRecord`) and relative order.
+    """
+    kept: list = []
+    rejected: list = []
+    for r in reads:
+        seq = r.sequence if isinstance(r, FastqRecord) else str(r)
+        (kept if is_valid(seq) else rejected).append(r)
+    return kept, rejected
+
+
 def qc_reads(
     reads: Sequence[str] | Sequence[FastqRecord],
     low_quality_threshold: float = 20.0,

@@ -16,13 +16,19 @@ from typing import Sequence
 import numpy as np
 
 from ..index.fm_index import FMIndex, SearchResult
-from ..sequence.alphabet import reverse_complement
+from ..sequence.alphabet import AlphabetError, is_valid, reverse_complement
 from ..telemetry import get_telemetry
-from .results import MappingResult, StrandHit
+from .results import REASON_INVALID_BASE, MappingResult, StrandHit
 
 
 class Mapper:
     """Both-strand exact mapper bound to an :class:`FMIndex`.
+
+    Reads containing characters outside the alphabet (``N``, IUPAC
+    codes, garbage) are *not* searched and *not* fatal: they come back
+    unmapped with ``reason == REASON_INVALID_BASE`` and bump the
+    ``reads_invalid`` counter, so one bad read cannot kill a batch, a
+    pool task, or a web job (DESIGN.md §9).
 
     Parameters
     ----------
@@ -52,10 +58,36 @@ class Mapper:
         assert loc is not None
         return np.sort(loc.locate_range(res.start, res.end, lf=self.index.backend.lf))
 
+    def _invalid_result(
+        self, sequence: str, read_id: int, read_name: str | None
+    ) -> MappingResult:
+        """The N-policy outcome: unmapped, with a reason code."""
+        self.index.counters.reads_invalid += 1
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter(
+                "reads_invalid_total",
+                "Reads rejected by the alphabet policy (reported unmapped)",
+                labelnames=("path",),
+            ).inc(path="mapper")
+        empty = SearchResult(start=0, end=0, steps=0)
+        pos = np.zeros(0, dtype=np.int64) if self.locate else None
+        return MappingResult(
+            read_id=read_id,
+            read_name=read_name if read_name is not None else f"read{read_id}",
+            length=len(sequence),
+            forward=StrandHit(empty, pos),
+            reverse=StrandHit(empty, pos),
+            reason=REASON_INVALID_BASE,
+        )
+
     def map_read(self, sequence: str, read_id: int = 0, read_name: str | None = None) -> MappingResult:
         """Map one read and its reverse complement."""
-        fwd = self.index.search(sequence)
-        rc = self.index.search(reverse_complement(sequence))
+        try:
+            fwd = self.index.search(sequence)
+            rc = self.index.search(reverse_complement(sequence))
+        except AlphabetError:
+            return self._invalid_result(sequence, read_id, read_name)
         return MappingResult(
             read_id=read_id,
             read_name=read_name if read_name is not None else f"read{read_id}",
@@ -86,33 +118,49 @@ class Mapper:
             ]
         tel = get_telemetry()
         with tel.span("mapper.map_reads", cat="mapper", n_reads=len(sequences)):
-            seqs = list(sequences)
+            all_seqs = list(sequences)
+            # Alphabet screen: invalid reads skip the search entirely and
+            # come back unmapped with a reason code (never an exception).
+            valid_idx = [i for i, s in enumerate(all_seqs) if is_valid(s)]
+            seqs = [all_seqs[i] for i in valid_idx]
             rcs = [reverse_complement(s) for s in seqs]
             lo, hi, steps = self.index.search_batch(seqs + rcs)
             n = len(seqs)
-            out: list[MappingResult] = []
-            for i, s in enumerate(seqs):
-                fwd = SearchResult(start=int(lo[i]), end=int(hi[i]), steps=int(steps[i]))
+            out: list[MappingResult | None] = [None] * len(all_seqs)
+            for j, i in enumerate(valid_idx):
+                fwd = SearchResult(start=int(lo[j]), end=int(hi[j]), steps=int(steps[j]))
                 rc = SearchResult(
-                    start=int(lo[n + i]), end=int(hi[n + i]), steps=int(steps[n + i])
+                    start=int(lo[n + j]), end=int(hi[n + j]), steps=int(steps[n + j])
                 )
-                out.append(
-                    MappingResult(
-                        read_id=i,
-                        read_name=names[i] if names else f"read{i}",
-                        length=len(s),
-                        forward=StrandHit(fwd, self._positions(fwd)),
-                        reverse=StrandHit(rc, self._positions(rc)),
+                out[i] = MappingResult(
+                    read_id=i,
+                    read_name=names[i] if names else f"read{i}",
+                    length=len(all_seqs[i]),
+                    forward=StrandHit(fwd, self._positions(fwd)),
+                    reverse=StrandHit(rc, self._positions(rc)),
+                )
+            for i, r in enumerate(out):
+                if r is None:
+                    out[i] = self._invalid_result(
+                        all_seqs[i], i, names[i] if names else None
                     )
-                )
+        results = [r for r in out if r is not None]
         if tel.enabled:
             m = tel.metrics
-            m.counter("mapper_reads_total", "Reads mapped (both strands)").inc(n)
-            m.counter("mapper_mapped_reads_total", "Reads with at least one hit").inc(
-                sum(1 for r in out if r.mapped)
+            m.counter("mapper_reads_total", "Reads mapped (both strands)").inc(
+                len(all_seqs)
             )
-        return out
+            m.counter("mapper_mapped_reads_total", "Reads with at least one hit").inc(
+                sum(1 for r in results if r.mapped)
+            )
+        return results
 
     def count_occurrences(self, sequence: str) -> int:
-        """Total exact occurrences on both strands."""
-        return self.index.count(sequence) + self.index.count(reverse_complement(sequence))
+        """Total exact occurrences on both strands (0 for invalid reads)."""
+        try:
+            return self.index.count(sequence) + self.index.count(
+                reverse_complement(sequence)
+            )
+        except AlphabetError:
+            self.index.counters.reads_invalid += 1
+            return 0

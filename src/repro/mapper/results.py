@@ -34,15 +34,28 @@ class StrandHit:
         return self.interval.found
 
 
+#: Reason code for reads rejected by the alphabet policy (``N``, IUPAC
+#: ambiguity codes, or other non-ACGT/U characters).  Such reads are
+#: reported unmapped with this reason instead of raising out of the
+#: mapper (DESIGN.md §9's N-policy).
+REASON_INVALID_BASE = "invalid_base"
+
+
 @dataclass(frozen=True)
 class MappingResult:
-    """Outcome of mapping one read (and its reverse complement)."""
+    """Outcome of mapping one read (and its reverse complement).
+
+    ``reason`` is ``None`` for reads that went through the search, and a
+    reason code (currently only :data:`REASON_INVALID_BASE`) for reads
+    the mapper refused without searching.
+    """
 
     read_id: int
     read_name: str
     length: int
     forward: StrandHit
     reverse: StrandHit
+    reason: str | None = None
 
     @property
     def mapped(self) -> bool:

@@ -107,6 +107,7 @@ def _map_offset(mapper: Mapper, batch: list[str], offset: int) -> list[MappingRe
             length=r.length,
             forward=r.forward,
             reverse=r.reverse,
+            reason=r.reason,
         )
         for r in results
     ]

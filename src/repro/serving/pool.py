@@ -292,6 +292,7 @@ class MapperPool:
                     length=res.length,
                     forward=res.forward,
                     reverse=res.reverse,
+                    reason=res.reason,
                 )
         get_telemetry().metrics.counter(
             "mapper_pool_tasks_total", "Read batches served by mapper pools"

@@ -56,7 +56,8 @@ class TestKmerHashMapper:
             assert hm["-"] == fm.reverse.positions.tolist()
 
     def test_empty_pattern(self, reference, hash_mapper):
-        assert len(hash_mapper.locate("")) == len(reference) + 1
+        # DESIGN.md 9: the empty pattern matches once per text position.
+        assert hash_mapper.locate("") == list(range(len(reference)))
 
     def test_stats_memory_exceeds_succinct(self, reference, hash_mapper):
         """The paper's memory argument: hash tables pay ~10s of bytes per

@@ -20,7 +20,8 @@ class TestFindAll:
         assert find_all("ACGT", "TT") == []
 
     def test_empty_pattern(self):
-        assert find_all("ACG", "") == [0, 1, 2, 3]
+        # DESIGN.md 9: one match per text position, sentinel excluded.
+        assert find_all("ACG", "") == [0, 1, 2]
 
     def test_count(self):
         assert count_occurrences("ACACAC", "ACA") == 2

@@ -1,0 +1,71 @@
+"""Generator invariants: determinism, edge-class coverage, size bounds."""
+
+import numpy as np
+
+from repro.check.generators import (
+    IUPAC_EXTRA,
+    PROFILES,
+    gen_bitvector_case,
+    gen_pattern_corpus,
+    gen_read_corpus,
+    gen_text,
+    rng_for,
+)
+from repro.sequence.alphabet import is_valid
+
+
+def test_rng_streams_are_deterministic_and_distinct():
+    a = rng_for(0, 3, 1).integers(0, 1 << 30, size=4)
+    b = rng_for(0, 3, 1).integers(0, 1 << 30, size=4)
+    c = rng_for(0, 3, 2).integers(0, 1 << 30, size=4)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_bitvector_cases_hit_boundaries():
+    sizes = set()
+    for i in range(200):
+        bits, b, sf = gen_bitvector_case(rng_for(1, i, 0))
+        assert bits.size >= 1
+        assert set(np.unique(bits)) <= {0, 1}
+        sizes.add((bits.size - b * sf, b, sf))
+    # At least some draws land exactly one off a superblock boundary.
+    assert any(delta in (-1, 0, 1) for delta, _, _ in sizes)
+
+
+def test_text_bounds():
+    profile = PROFILES["quick"]
+    for i in range(50):
+        t = gen_text(rng_for(2, i, 0), profile)
+        assert 1 <= len(t) <= profile.max_text
+        assert is_valid(t)
+
+
+def test_pattern_corpus_contains_required_edge_classes():
+    rng = rng_for(3, 0, 0)
+    text = gen_text(rng, PROFILES["default"])
+    corpus = gen_pattern_corpus(rng, text, 14)
+    assert "" in corpus
+    assert any(p and p == p.lower() for p in corpus)  # lowercase spelling
+    assert text in corpus  # pattern == reference
+    assert any(len(p) > len(text) for p in corpus)  # longer than reference
+    assert any(not is_valid(p) and p for p in corpus)  # N/IUPAC entries
+    assert any(set(p) & set(IUPAC_EXTRA) for p in corpus)
+
+
+def test_pattern_corpus_can_exclude_invalid():
+    rng = rng_for(3, 1, 0)
+    text = gen_text(rng, PROFILES["default"])
+    corpus = gen_pattern_corpus(rng, text, 14, include_invalid=False)
+    assert all(is_valid(p) for p in corpus)
+    assert "" in corpus
+
+
+def test_read_corpus_respects_hardware_record_cap():
+    for i in range(30):
+        rng = rng_for(4, i, 0)
+        text = gen_text(rng, PROFILES["thorough"])
+        reads = gen_read_corpus(rng, text, 12)
+        assert "" in reads
+        assert all(len(r) <= 176 for r in reads)
+        assert any(not is_valid(r) and r for r in reads)

@@ -1,0 +1,72 @@
+"""The oracles must themselves be right — they are the ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.check.oracles import (
+    naive_occ,
+    naive_rank0,
+    naive_rank1,
+    naive_select1,
+    normalize,
+    oracle_mapping,
+    oracle_occurrences,
+)
+
+
+class TestNormalize:
+    def test_case_and_u(self):
+        assert normalize("acgtU") == "ACGTT"
+        assert normalize("ACGT") == "ACGT"
+
+    def test_preserves_invalid_chars(self):
+        # Invalid characters pass through so is_valid still rejects them.
+        assert normalize("aNc") == "ANC"
+
+
+class TestNaiveRank:
+    def test_rank_and_select_roundtrip(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1], dtype=np.uint8)
+        assert [naive_rank1(bits, p) for p in range(8)] == [0, 1, 1, 2, 3, 3, 3, 4]
+        assert naive_rank0(bits, 7) == 3
+        for k in range(1, 5):
+            pos = naive_select1(bits, k)
+            assert naive_rank1(bits, pos + 1) == k
+
+    def test_select_out_of_range(self):
+        with pytest.raises(IndexError):
+            naive_select1(np.array([1, 0], dtype=np.uint8), 2)
+
+    def test_occ(self):
+        codes = np.array([0, 1, 2, 1, 0], dtype=np.uint8)
+        assert naive_occ(codes, 1, 4) == 2
+        assert naive_occ(codes, 3, 5) == 0
+
+
+class TestOracleOccurrences:
+    def test_overlapping(self):
+        assert oracle_occurrences("AAAA", "AA") == [0, 1, 2]
+
+    def test_empty_pattern_semantics(self):
+        # DESIGN.md 9: one match per text position, none at the sentinel.
+        assert oracle_occurrences("ACG", "") == [0, 1, 2]
+
+    def test_case_insensitive_with_u(self):
+        assert oracle_occurrences("ACGT", "acgu") == [0]
+
+    def test_invalid_is_none(self):
+        assert oracle_occurrences("ACGT", "ACN") is None
+        assert oracle_occurrences("ACGT", "X") is None
+
+    def test_longer_than_text(self):
+        assert oracle_occurrences("ACG", "ACGT") == []
+
+
+class TestOracleMapping:
+    def test_both_strands(self):
+        fwd, rc = oracle_mapping("ACGTTT", "AAA")
+        assert fwd == []
+        assert rc == [3]
+
+    def test_invalid_read(self):
+        assert oracle_mapping("ACGT", "ANG") is None

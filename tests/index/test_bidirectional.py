@@ -113,9 +113,13 @@ class TestSearch:
             bi.search_from_middle("ACGT", split=4)
 
     def test_empty_pattern(self, setup):
-        _, bi = setup
+        text, bi = setup
         iv = bi.search("")
-        assert iv.count == bi.n_rows
+        # DESIGN.md 9: [1, n_rows) on both strands - the sentinel row is
+        # not a text position and never counts as a match.
+        assert (iv.lo, iv.hi) == (1, bi.n_rows)
+        assert (iv.lo_r, iv.hi_r) == (1, bi.n_rows)
+        assert iv.count == len(text)
 
 
 class TestOneMismatch:

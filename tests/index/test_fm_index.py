@@ -18,8 +18,15 @@ def oracle_positions(text, pattern):
 
 class TestSearch:
     def test_empty_pattern_matches_everywhere(self, small_index, small_text):
+        # DESIGN.md 9: [1, n_rows), i.e. every rotation except the
+        # sentinel row; count equals the text length and locate never
+        # reports position len(text).
         res = small_index.search("")
-        assert res.start == 0 and res.end == len(small_text) + 1
+        assert res.start == 1 and res.end == len(small_text) + 1
+        assert small_index.count("") == len(small_text)
+        assert sorted(small_index.locate("").tolist()) == list(
+            range(len(small_text))
+        )
 
     def test_count_matches_regex(self, small_index, small_text):
         for pat in ["A", "ACG", "TTT", "GGGG", small_text[100:140]]:

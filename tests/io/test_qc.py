@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.io.fastq import FastqRecord
-from repro.io.qc import qc_reads
+from repro.io.qc import partition_invalid_reads, qc_reads
 from repro.io.readsim import simulate_reads
 from repro.io.refgen import E_COLI_LIKE, generate_reference
 
@@ -85,3 +85,28 @@ class TestQcFastq:
         qc = qc_reads(reads)
         q1, q2, q3 = qc.gc_quartiles
         assert q1 <= q2 <= q3
+
+
+class TestPartitionInvalidReads:
+    def test_strings_keep_order_and_type(self):
+        kept, rejected = partition_invalid_reads(["ACGT", "ACNGT", "", "NNN", "gg"])
+        assert kept == ["ACGT", "", "gg"]
+        assert rejected == ["ACNGT", "NNN"]
+
+    def test_fastq_records(self):
+        recs = [
+            FastqRecord("ok", "ACGT", "IIII"),
+            FastqRecord("bad", "ACNT", "IIII"),
+        ]
+        kept, rejected = partition_invalid_reads(recs)
+        assert [r.name for r in kept] == ["ok"]
+        assert [r.name for r in rejected] == ["bad"]
+        assert isinstance(kept[0], FastqRecord)
+
+    def test_empty_input(self):
+        assert partition_invalid_reads([]) == ([], [])
+
+    def test_filter_agrees_with_qc_count(self):
+        reads = ["ACGT", "ANGT", "acgu", "RYKM"]
+        _, rejected = partition_invalid_reads(reads)
+        assert len(rejected) == qc_reads(reads).invalid_reads

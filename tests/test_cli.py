@@ -242,3 +242,43 @@ class TestTelemetryFlags:
         assert main(["map", str(idx), str(fastq), "-o", str(tmp_path / "h.tsv"),
                      "--metrics-out", str(tmp_path / "m.prom")]) == 0
         assert get_telemetry().enabled is False
+
+
+class TestSelfcheck:
+    def test_quick_run_passes(self, capsys):
+        rc = main(
+            [
+                "selfcheck",
+                "--seed", "0",
+                "--rounds", "2",
+                "--profile", "quick",
+                "--checks", "rrr,fm",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "selfcheck: PASS" in out
+        assert "rrr" in out and "fm" in out
+
+    def test_replay_committed_corpus(self, capsys):
+        import pathlib
+
+        corpus = pathlib.Path(__file__).parent / "corpus"
+        rc = main(["selfcheck", "--replay", str(corpus), "--profile", "quick"])
+        assert rc == 0
+        assert "selfcheck: PASS" in capsys.readouterr().out
+
+    def test_metrics_snapshot(self, tmp_path, capsys):
+        snap = tmp_path / "metrics.txt"
+        rc = main(
+            [
+                "selfcheck",
+                "--seed", "1",
+                "--rounds", "1",
+                "--profile", "quick",
+                "--checks", "rrr",
+                "--metrics-out", str(snap),
+            ]
+        )
+        assert rc == 0
+        assert 'selfcheck_rounds_total{check="rrr"} 1' in snap.read_text()

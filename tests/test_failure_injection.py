@@ -122,9 +122,13 @@ class TestDegenerateInputs:
         with pytest.raises(AlphabetError):
             index.count("ACGN")
         from repro.mapper.mapper import Mapper
+        from repro.mapper.results import REASON_INVALID_BASE
 
-        with pytest.raises(AlphabetError):
-            Mapper(index, locate=False).map_read("XYZ")
+        # The raw index raises; the mapper's N-policy (DESIGN.md 9)
+        # converts the rejection into an unmapped result with a reason.
+        res = Mapper(index, locate=False).map_read("XYZ")
+        assert not res.mapped
+        assert res.reason == REASON_INVALID_BASE
 
 
 class TestWebFailureModes:
