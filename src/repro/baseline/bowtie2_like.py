@@ -29,6 +29,7 @@ import numpy as np
 
 from ..core.counters import CounterScope, OpCounters
 from ..index.fm_index import FMIndex
+from ..index.ftab import Ftab
 from ..index.occ_table import OccTable
 from ..mapper.mapper import Mapper
 from ..mapper.results import MappingResult
@@ -65,6 +66,11 @@ class Bowtie2Like:
         Suffix-array sampling (Bowtie2 defaults to one row in 32).
     thread_model:
         Amdahl law used for multi-thread projections.
+    ftab_k:
+        When set, precompute the k-mer jump-start table over the
+        checkpointed index (the real Bowtie2 ships one, ``--ftabchars``,
+        default 10); searches then start ``k`` symbols in with one table
+        read, bit-identically.
     """
 
     def __init__(
@@ -74,16 +80,19 @@ class Bowtie2Like:
         sa_sample_rate: int = 32,
         thread_model: AmdahlModel = DEFAULT_THREAD_MODEL,
         counters: OpCounters | None = None,
+        ftab_k: int | None = None,
     ):
         codes = encode(reference) if isinstance(reference, str) else np.asarray(reference, dtype=np.uint8)
         self.counters = counters if counters is not None else OpCounters()
         sa = suffix_array(codes, method="doubling")
         bwt = bwt_from_codes(codes, sa=sa)
         self.backend = OccTable(bwt, checkpoint_words=checkpoint_words, counters=self.counters)
+        ftab = Ftab.build(self.backend, k=ftab_k) if ftab_k is not None else None
         self.index = FMIndex(
             self.backend,
             locate_structure=SampledSA(sa, k=sa_sample_rate),
             counters=self.counters,
+            ftab=ftab,
         )
         self.mapper = Mapper(self.index, locate=False)
         self.thread_model = thread_model

@@ -19,6 +19,7 @@ sweeps revisit the same builds many times.
 
 from __future__ import annotations
 
+import time
 from functools import lru_cache
 
 
@@ -82,23 +83,40 @@ def _reference_bwt(profile: str, scale: float, seed: int):
 
 
 @lru_cache(maxsize=16)
-def get_index(profile: str, b: int = 15, sf: int = 50, scale: float = DEFAULT_SCALE, seed: int = 7):
+def get_index(
+    profile: str,
+    b: int = 15,
+    sf: int = 50,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 7,
+    ftab_k: int | None = None,
+):
     """Cached succinct index (+ build report) for a profile.
 
     Reuses the cached suffix array / BWT of the profile, so sweeping
     (b, sf) re-runs only the encoding step — the same reuse the paper's
-    workflow gets by persisting step 1's output to a file.
+    workflow gets by persisting step 1's output to a file.  ``ftab_k``
+    additionally attaches the k-mer jump-start table (cached per k).
     """
     from ..core.bwt_structure import BWTStructure
     from ..index.builder import BuildReport
     from ..index.fm_index import FMIndex
+    from ..index.ftab import Ftab
     from ..sequence.bwt import entropy0, run_length_stats
     from ..sequence.sampled_sa import FullSA
 
     bwt = _reference_bwt(profile, scale, seed)
     counters = OpCounters()
     struct, encode_seconds = encode_existing_bwt(bwt, b=b, sf=sf, counters=counters)
-    index = FMIndex(struct, locate_structure=FullSA(bwt.sa), counters=counters)
+    ftab = None
+    ftab_seconds = 0.0
+    if ftab_k is not None:
+        t0 = time.perf_counter()
+        ftab = Ftab.build(struct, k=ftab_k)
+        ftab_seconds = time.perf_counter() - t0
+    index = FMIndex(
+        struct, locate_structure=FullSA(bwt.sa), counters=counters, ftab=ftab
+    )
     sym = bwt.symbols_without_sentinel()
     report = BuildReport(
         text_length=bwt.text_length,
@@ -111,6 +129,8 @@ def get_index(profile: str, b: int = 15, sf: int = 50, scale: float = DEFAULT_SC
         uncompressed_bytes=bwt.length,
         bwt_entropy0=entropy0(sym) if sym.size else 0.0,
         bwt_runs=run_length_stats(bwt),
+        ftab_seconds=ftab_seconds,
+        ftab_bytes=ftab.size_in_bytes() if ftab is not None else 0,
     )
     return index, report
 
@@ -208,60 +228,78 @@ def experiment_fig7(
     scale: float = DEFAULT_SCALE,
     seed: int = 7,
     cost_model: FPGACostModel = DEFAULT_COST_MODEL,
+    ftab_variants: tuple[bool, ...] = (False, True),
+    ftab_k: int = 10,
 ) -> list[dict]:
     """Mapping time vs mapped fraction, per profile and (b, sf).
 
     Reports measured Python wall seconds at ``n_reads`` plus modeled
-    native-CPU and FPGA milliseconds at the paper's 240 k reads.
+    native-CPU and FPGA milliseconds at the paper's 240 k reads.  Each
+    (profile, config, ratio) point is run once per ``ftab_variants``
+    entry (the jump-start table off/on; the ``ftab`` column tags rows);
+    intervals are bit-identical across variants, only the work changes.
     """
     rows: list[dict] = []
     for profile in profiles:
         ref = get_reference(profile, scale, seed)
         for b, sf in configs:
-            index, report = get_index(profile, b=b, sf=sf, scale=scale, seed=seed)
-            index.backend.build_batch_cache()
-            for ratio in ratios:
-                # Read seed deliberately decoupled from the reference seed:
-                # sharing a seed would make "random" unmapped reads replay
-                # the reference generator's stream and spuriously share
-                # long substrings with it.
-                reads = simulate_reads(
-                    ref,
-                    n_reads,
-                    read_length,
-                    mapping_ratio=ratio,
-                    seed=seed * 1000 + 17 + int(ratio * 100),
-                ).reads
-                run = run_mapping_batch(index, reads, keep_results=False)
-                scale_up = paper_reads / n_reads
-                counts_paper = {k: int(v * scale_up) for k, v in run.op_counts.items()}
-                native_cpu_s = DEFAULT_CPU_MODEL.seconds(counts_paper)
-                # FPGA: hardware steps ~ half the software (dual pipelines);
-                # bounded below by the longer strand.  Use the counter total
-                # conservatively split per strand.
-                hw_steps = counts_paper.get("bs_steps", 0) // 2
-                fpga_s = cost_model.run_seconds(
-                    report.structure_bytes, hw_steps, paper_reads
+            for use_ftab in ftab_variants:
+                index, report = get_index(
+                    profile, b=b, sf=sf, scale=scale, seed=seed,
+                    ftab_k=ftab_k if use_ftab else None,
                 )
-                row = {
-                    "profile": profile,
-                    "b": b,
-                    "sf": sf,
-                    "mapping_ratio": ratio,
-                    "n_reads_measured": n_reads,
-                    "measured_seconds": run.wall_seconds,
-                    "bs_steps_per_read": run.total_bs_steps / n_reads,
-                    "native_cpu_ms_240k": native_cpu_s * 1e3,
-                    "fpga_ms_240k": fpga_s * 1e3,
-                }
-                if get_telemetry().enabled:
-                    # Op-count provenance for the modeled columns, so a
-                    # telemetry-enabled sweep is self-describing.
-                    row["telemetry"] = {
-                        "op_counts": dict(run.op_counts),
-                        "wall_seconds": run.wall_seconds,
+                index.backend.build_batch_cache()
+                for ratio in ratios:
+                    # Read seed deliberately decoupled from the reference
+                    # seed: sharing a seed would make "random" unmapped
+                    # reads replay the reference generator's stream and
+                    # spuriously share long substrings with it.
+                    reads = simulate_reads(
+                        ref,
+                        n_reads,
+                        read_length,
+                        mapping_ratio=ratio,
+                        seed=seed * 1000 + 17 + int(ratio * 100),
+                    ).reads
+                    run = run_mapping_batch(index, reads, keep_results=False)
+                    scale_up = paper_reads / n_reads
+                    counts_paper = {
+                        k: int(v * scale_up) for k, v in run.op_counts.items()
                     }
-                rows.append(row)
+                    native_cpu_s = DEFAULT_CPU_MODEL.seconds(counts_paper)
+                    # FPGA: hardware steps ~ half the software (dual
+                    # pipelines); bounded below by the longer strand.  Use
+                    # the counter total conservatively split per strand;
+                    # each jump-start lookup occupies one step-equivalent
+                    # pipeline slot (bs_steps is already net of the k
+                    # iterations the LUT burst replaces).
+                    hw_steps = (
+                        counts_paper.get("bs_steps", 0)
+                        + counts_paper.get("ftab_lookups", 0)
+                    ) // 2
+                    fpga_s = cost_model.run_seconds(
+                        report.structure_bytes, hw_steps, paper_reads
+                    )
+                    row = {
+                        "profile": profile,
+                        "b": b,
+                        "sf": sf,
+                        "ftab": use_ftab,
+                        "mapping_ratio": ratio,
+                        "n_reads_measured": n_reads,
+                        "measured_seconds": run.wall_seconds,
+                        "bs_steps_per_read": run.total_bs_steps / n_reads,
+                        "native_cpu_ms_240k": native_cpu_s * 1e3,
+                        "fpga_ms_240k": fpga_s * 1e3,
+                    }
+                    if get_telemetry().enabled:
+                        # Op-count provenance for the modeled columns, so a
+                        # telemetry-enabled sweep is self-describing.
+                        row["telemetry"] = {
+                            "op_counts": dict(run.op_counts),
+                            "wall_seconds": run.wall_seconds,
+                        }
+                    rows.append(row)
     return _record_experiment("fig7", rows)
 
 

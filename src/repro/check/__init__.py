@@ -2,10 +2,10 @@
 
 ``repro selfcheck`` drives every fast implementation (RRR vectors,
 wavelet trees, FM-index scalar and batch search, the FPGA functional
-model, the flat mmap container, the worker pool) against slow pure-Python
-oracles on seeded adversarial inputs, shrinks any mismatch to a minimal
-counterexample, and stores it under ``tests/corpus/`` as a permanent
-regression guard.  See DESIGN.md §9.
+model, the flat mmap container, the worker pool, the k-mer jump-start
+table) against slow pure-Python oracles on seeded adversarial inputs,
+shrinks any mismatch to a minimal counterexample, and stores it under
+``tests/corpus/`` as a permanent regression guard.  See DESIGN.md §9.
 """
 
 from .differential import (

@@ -25,6 +25,7 @@ mapper  ``Mapper.map_read``/``map_reads`` vs both-strand scan
 kernel  FPGA functional model vs the CPU mapper (bit-identical)
 flat    flat-container round-trip vs the in-memory index
 pool    ``MapperPool`` workers vs the in-process mapper
+ftab    jump-start-table-primed search vs the stepwise search + scan
 ====== ======================================================
 """
 
@@ -32,6 +33,7 @@ from __future__ import annotations
 
 import tempfile
 import traceback
+from itertools import product
 from pathlib import Path
 from typing import Callable, Sequence
 
@@ -564,7 +566,78 @@ class PoolCheck(TextPatternsCheck):
         return {**inputs, "reads": reads}
 
 
+# -- ftab-primed search vs stepwise search ------------------------------------
+
+
+class FtabCheck(TextPatternsCheck):
+    """Jump-start table vs the stepwise chain it replaces.
+
+    Builds the same index twice — with and without an ftab — and demands
+    the full ``(start, end, steps)`` triple agree on every pattern, both
+    scalar and batched, plus an exhaustive sweep of all 4^k k-mers whose
+    counts are also checked against the pure-Python text scan.
+    """
+
+    name = "ftab"
+    heavy = True  # two index builds + a 4^k table per round
+
+    def _corpus(self, rng, profile, text):
+        return gen_pattern_corpus(rng, text, profile.n_patterns, include_invalid=False)
+
+    def generate(self, rng, profile):
+        inputs = super().generate(rng, profile)
+        inputs["ftab_k"] = int(rng.integers(1, 5))  # <= 256 entries per round
+        return inputs
+
+    def mismatch(self, inputs):
+        k = int(inputs.get("ftab_k", 3))
+        plain = _build(inputs)
+        primed, _ = build_index(
+            inputs["text"],
+            b=int(inputs.get("b", 15)),
+            sf=int(inputs.get("sf", 8)),
+            backend=inputs.get("backend", "rrr"),
+            ftab_k=k,
+        )
+        text = inputs["text"]
+        patterns = list(inputs["patterns"])
+        for pat in patterns:
+            a, b = plain.search(pat), primed.search(pat)
+            got = (b.start, b.end, b.steps)
+            want = (a.start, a.end, a.steps)
+            if got != want:
+                return (f"primed search({pat!r}) == stepwise {want}", f"{got}")
+        if patterns:
+            lo_a, hi_a, st_a = plain.search_batch(patterns)
+            lo_b, hi_b, st_b = primed.search_batch(patterns)
+            for i in range(len(patterns)):
+                got = (int(lo_b[i]), int(hi_b[i]), int(st_b[i]))
+                want = (int(lo_a[i]), int(hi_a[i]), int(st_a[i]))
+                if got != want:
+                    return (
+                        f"primed search_batch[{i}] ({patterns[i]!r}) == {want}",
+                        f"{got}",
+                    )
+        # Exhaustive k-mer sweep: every table entry against both the
+        # stepwise search and the literal scan.
+        for kmer in map("".join, product("ACGT", repeat=k)):
+            a, b = plain.search(kmer), primed.search(kmer)
+            got = (b.start, b.end, b.steps)
+            want = (a.start, a.end, a.steps)
+            if got != want:
+                return (f"table entry {kmer!r} == stepwise {want}", f"{got}")
+            occurrences = oracle_occurrences(text, kmer)
+            n_occ = len(occurrences) if occurrences is not None else 0
+            if b.end - b.start != n_occ:
+                return (
+                    f"table entry {kmer!r} counts {n_occ} occurrences",
+                    f"interval [{b.start}, {b.end})",
+                )
+        return None
+
+
 #: Registry order is load-bearing: it feeds ``rng_for``'s check index.
+#: New checks append at the end (``ftab``), never in the middle.
 ALL_CHECKS: tuple[Check, ...] = (
     RRRCheck(),
     WaveletCheck(),
@@ -574,6 +647,7 @@ ALL_CHECKS: tuple[Check, ...] = (
     KernelCheck(),
     FlatCheck(),
     PoolCheck(),
+    FtabCheck(),
 )
 
 CHECKS_BY_NAME: dict[str, Check] = {c.name: c for c in ALL_CHECKS}

@@ -75,6 +75,7 @@ def _cmd_index(args: argparse.Namespace) -> int:
         sf=args.superblock_factor,
         backend=args.backend,
         locate=args.locate,
+        ftab_k=args.ftab_k or None,
     )
     if args.format == "flat":
         save_index_flat(index, args.output)
@@ -84,6 +85,11 @@ def _cmd_index(args: argparse.Namespace) -> int:
         f"built in {report.sa_bwt_seconds + report.encode_seconds:.2f}s "
         f"(SA+BWT {report.sa_bwt_seconds:.2f}s, encode {report.encode_seconds:.3f}s)"
     )
+    if index.ftab is not None:
+        print(
+            f"ftab: k={index.ftab.k}, {report.ftab_bytes:,} B "
+            f"built in {report.ftab_seconds:.3f}s"
+        )
     print(
         f"structure: {report.structure_bytes:,} B "
         f"({report.space_saving_percent:.1f}% saved vs 1 B/char) -> {args.output}"
@@ -104,6 +110,11 @@ def _cmd_map(args: argparse.Namespace) -> int:
     if isinstance(loaded, MultiReferenceIndex):
         return _map_multiref(args, loaded)
     index = loaded
+    if args.no_ftab:
+        # Drop the jump-start table before any mapping (or pool publish):
+        # results are bit-identical either way, only the work changes.
+        index.ftab = None
+        index.use_ftab = False
 
     if args.pool > 1:
         return _map_pooled(args, index)
@@ -199,8 +210,10 @@ def _map_pooled(args: argparse.Namespace, index) -> int:
     with _open_text(args.fastq) as fh:
         reads = [r.sequence for r in parse_fastq(fh)]
     # A flat container can be served in place (workers mmap the file);
-    # an .npz index is published to shared memory first.
-    if detect_index_format(args.index) == "flat":
+    # an .npz index is published to shared memory first.  With --no-ftab
+    # the stripped in-memory index is published instead of the file, so
+    # workers never see the container's ftab segment.
+    if detect_index_format(args.index) == "flat" and not args.no_ftab:
         pool_args = {"flat_path": args.index}
     else:
         pool_args = {"index": index}
@@ -274,6 +287,11 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         print(
             f"  locate: {type(index.locate_structure).__name__}, "
             f"{index.locate_structure.size_in_bytes():,} B"
+        )
+    if index.ftab is not None:
+        print(
+            f"  ftab: k={index.ftab.k}, {index.ftab.size_in_bytes():,} B "
+            f"({len(index.ftab.lo):,} entries)"
         )
     if args.validate:
         if detect_index_format(args.index) == "flat":
@@ -430,6 +448,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=["rrr", "occ"], default="rrr")
     p.add_argument("--locate", choices=["full", "sampled", "none"], default="full")
     p.add_argument(
+        "--ftab-k", type=int, default=0, metavar="K",
+        help="precompute the k-mer jump-start table (4^K entries; 0 = off; "
+        "single-reference indexes only)",
+    )
+    p.add_argument(
         "--format", choices=["npz", "flat"], default="npz",
         help="index container: 'npz' (compressed archive, re-encoded on "
         "load) or 'flat' (zero-copy binary, O(1) mmap open)",
@@ -451,6 +474,11 @@ def build_parser() -> argparse.ArgumentParser:
         "1 maps in-process",
     )
     p.add_argument("--reference-name", default="ref")
+    p.add_argument(
+        "--no-ftab", action="store_true",
+        help="ignore the index's k-mer jump-start table (results are "
+        "bit-identical; useful for timing comparisons)",
+    )
     p.add_argument(
         "--faults",
         default="",

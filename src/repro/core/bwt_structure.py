@@ -114,6 +114,24 @@ class BWTStructure:
         j = np.where(p > self.dollar_pos, p - 1, p)
         return self.tree.rank_many(symbol, j)
 
+    def occ2_many(
+        self, symbol: int, lo_positions: np.ndarray, hi_positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fused :meth:`occ_many` at both interval boundaries.
+
+        Backward search updates ``lo`` and ``hi`` with the same symbol
+        every step; one fused wavelet descent answers both bound sets
+        while sharing every node's decode work.  Results and counter
+        charges are identical to two :meth:`occ_many` calls.
+        """
+        plo = np.asarray(lo_positions, dtype=np.int64)
+        phi = np.asarray(hi_positions, dtype=np.int64)
+        if self.store_sentinel_in_tree:
+            return self.tree.rank2_many(symbol + 1, plo, phi)
+        jlo = np.where(plo > self.dollar_pos, plo - 1, plo)
+        jhi = np.where(phi > self.dollar_pos, phi - 1, phi)
+        return self.tree.rank2_many(symbol, jlo, jhi)
+
     def count_smaller(self, symbol: int) -> int:
         """``C(a)``: text symbols (plus sentinel) smaller than ``symbol``."""
         return int(self.C[symbol])

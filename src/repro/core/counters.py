@@ -45,6 +45,13 @@ class OpCounters:
         Wavelet-tree (symbol) rank queries.
     bs_steps:
         Backward-search steps executed (one per consumed query symbol).
+        Queries jump-started from the k-mer seed table skip their first
+        ``k`` steps, so with an ftab attached this counts only the steps
+        actually run — the reduced workload the FPGA cycle model consumes.
+    ftab_lookups:
+        K-mer seed-table reads (one per query of length >= k when an
+        ftab is attached); the FPGA model charges one BRAM LUT burst
+        read per lookup.
     queries:
         Query sequences processed (a read and its reverse complement count
         as two).
@@ -64,6 +71,7 @@ class OpCounters:
     offset_reads: int = 0
     wt_ranks: int = 0
     bs_steps: int = 0
+    ftab_lookups: int = 0
     queries: int = 0
     occ_checkpoint_ranks: int = 0
     occ_scan_chars: int = 0

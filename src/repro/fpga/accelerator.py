@@ -41,12 +41,13 @@ from ..faults import (
     validate_result_records,
 )
 from ..index.fm_index import FMIndex
+from ..index.ftab import Ftab
 from ..mapper.query import pack_queries
 from ..sequence.alphabet import is_valid, reverse_complement
 from ..telemetry import correlate, get_telemetry, new_run_id
 from .cost_model import DEFAULT_COST_MODEL, FPGACostModel
 from .device import ALVEO_U200, DeviceHealth, DeviceSpec
-from .kernel import BackwardSearchKernel, KernelRun, QueryOutcome
+from .kernel import BackwardSearchKernel, KernelRun, QueryOutcome, executed_steps
 from .opencl import CommandQueue, Context
 from .power import DEFAULT_POWER_MODEL, PowerModel
 
@@ -113,6 +114,7 @@ class FPGAAccelerator:
         spec: DeviceSpec = ALVEO_U200,
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
+        ftab: Ftab | None = None,
     ):
         self.cost_model = cost_model
         self.power_model = power_model
@@ -120,7 +122,9 @@ class FPGAAccelerator:
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.injector = fault_plan.injector() if fault_plan is not None else None
-        self.kernel = BackwardSearchKernel(structure, spec=spec, injector=self.injector)
+        self.kernel = BackwardSearchKernel(
+            structure, spec=spec, injector=self.injector, ftab=ftab
+        )
         self.context = Context(spec)
         self.health = DeviceHealth()
         self.structure_bytes = self.kernel.structure_bytes()
@@ -129,7 +133,11 @@ class FPGAAccelerator:
 
     @classmethod
     def for_index(cls, index: FMIndex, **kwargs) -> "FPGAAccelerator":
-        """Wrap an existing index (its backend must be the succinct one)."""
+        """Wrap an existing index (its backend must be the succinct one).
+
+        The index's jump-start table (when attached and enabled) rides
+        along onto the device as the ``ftab_lut`` bank.
+        """
         backend = index.backend
         if not isinstance(backend, BWTStructure):
             raise TypeError(
@@ -137,6 +145,7 @@ class FPGAAccelerator:
                 f"got a {type(backend).__name__} backend — build the index "
                 "with backend='rrr'"
             )
+        kwargs.setdefault("ftab", index.ftab if index.use_ftab else None)
         return cls(backend, **kwargs)
 
     def program(self, queue: CommandQueue) -> float:
@@ -339,6 +348,8 @@ class FPGAAccelerator:
                 rc_end=o.rc_end,
                 fwd_steps=o.fwd_steps,
                 rc_steps=o.rc_steps,
+                fwd_exec_steps=o.fwd_exec_steps,
+                rc_exec_steps=o.rc_exec_steps,
             )
         for i in range(chunk_len):
             if outcomes[i] is None:
@@ -499,18 +510,23 @@ class FPGAAccelerator:
         rcs = [reverse_complement(s) for s in seqs]
         lo, hi, steps = self.kernel._index.search_batch(seqs + rcs)
         n = len(seqs)
+        ftab = self.kernel.ftab
         outcomes = []
         hw_total = 0
         sw_total = 0
         for i in range(n):
+            f_steps = int(steps[i])
+            r_steps = int(steps[n + i])
             out = QueryOutcome(
                 query_id=start_id + i,
                 fwd_start=int(lo[i]),
                 fwd_end=int(hi[i]),
                 rc_start=int(lo[n + i]),
                 rc_end=int(hi[n + i]),
-                fwd_steps=int(steps[i]),
-                rc_steps=int(steps[n + i]),
+                fwd_steps=f_steps,
+                rc_steps=r_steps,
+                fwd_exec_steps=executed_steps(ftab, len(seqs[i]), f_steps),
+                rc_exec_steps=executed_steps(ftab, len(rcs[i]), r_steps),
             )
             outcomes.append(out)
             hw_total += out.hw_steps

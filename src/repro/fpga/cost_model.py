@@ -15,6 +15,12 @@ HLS performance estimate converts trip counts into latency:
   "core" already processes the read and its reverse complement in
   parallel; lanes model the additional query-level parallelism the
   datapath's BRAM banking affords);
+* when a k-mer jump-start table is loaded, the pipeline gains a **LUT
+  stage**: the first ``k`` iterations of each strand collapse into one
+  BRAM burst from the ``ftab_lut`` bank, counted as a single
+  step-equivalent.  The formulas below are unchanged — the kernel's
+  measured ``hw_steps_total`` is already net of the replaced iterations
+  (see :func:`repro.fpga.kernel.executed_steps`);
 * loading the BWT structure into BRAM is a **fixed overhead**
   proportional to the structure size — the amortization the paper calls
   out in Table II ("the load of the BWT structure introduces a fixed

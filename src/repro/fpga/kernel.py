@@ -26,6 +26,7 @@ from ..core.counters import CounterScope
 from ..core.rrr import RRRVector
 from ..faults import FaultInjector, KernelHangError
 from ..index.fm_index import FMIndex
+from ..index.ftab import Ftab
 from ..mapper.query import unpack_queries
 from ..sequence.alphabet import reverse_complement
 from ..telemetry import get_telemetry
@@ -35,7 +36,16 @@ from .device import ALVEO_U200, DeviceSpec
 
 @dataclass(frozen=True)
 class QueryOutcome:
-    """Device output for one query record: both strands' intervals."""
+    """Device output for one query record: both strands' intervals.
+
+    ``fwd_steps``/``rc_steps`` are *logical* backward-search steps — one
+    per consumed pattern symbol — and stay bit-identical whether or not
+    the kernel carries a k-mer jump-start table.  ``fwd_exec_steps`` /
+    ``rc_exec_steps`` are the steps the pipeline actually executes: with
+    an ftab the first ``k`` symbols collapse into one BRAM LUT burst,
+    which counts as a single step-equivalent.  A negative value means
+    "no ftab: executed == logical".
+    """
 
     query_id: int
     fwd_start: int
@@ -44,11 +54,15 @@ class QueryOutcome:
     rc_end: int
     fwd_steps: int
     rc_steps: int
+    fwd_exec_steps: int = -1
+    rc_exec_steps: int = -1
 
     @property
     def hw_steps(self) -> int:
         """Pipeline occupancy: the slower strand bounds the record."""
-        return max(self.fwd_steps, self.rc_steps)
+        f = self.fwd_exec_steps if self.fwd_exec_steps >= 0 else self.fwd_steps
+        r = self.rc_exec_steps if self.rc_exec_steps >= 0 else self.rc_steps
+        return max(f, r)
 
     @property
     def mapped(self) -> bool:
@@ -81,6 +95,18 @@ class KernelRun:
         ).reshape(-1, 4)
 
 
+def executed_steps(ftab: Ftab | None, seq_len: int, steps: int) -> int:
+    """Pipeline slots one strand occupies for ``steps`` logical steps.
+
+    With an ftab, a query of length >= k replaces its first k iterations
+    with one LUT burst (one step-equivalent); entries that emptied inside
+    the seed region (steps < k) also cost exactly the one burst.
+    """
+    if ftab is None or seq_len < ftab.k:
+        return steps
+    return max(steps - (ftab.k - 1), 1)
+
+
 class BackwardSearchKernel:
     """The device kernel: succinct structure + dual search pipelines.
 
@@ -99,6 +125,11 @@ class BackwardSearchKernel:
         kernel is subject to injected hangs and garbage result records,
         and its BRAM banks to bit upsets.  The kernel's own CRC check on
         bank access is the detection side.
+    ftab:
+        Optional k-mer jump-start table.  When given, it is placed as an
+        on-chip ``ftab_lut`` bank and each strand's first ``k`` pipeline
+        iterations are replaced by one LUT burst; reported intervals and
+        logical step counts stay bit-identical.
     """
 
     def __init__(
@@ -106,13 +137,15 @@ class BackwardSearchKernel:
         structure: BWTStructure,
         spec: DeviceSpec = ALVEO_U200,
         injector: FaultInjector | None = None,
+        ftab: Ftab | None = None,
     ):
         self.structure = structure
         self.spec = spec
         self.injector = injector
+        self.ftab = ftab
         self.bram = BramModel(spec=spec)
         self._place_structure()
-        self._index = FMIndex(structure, locate_structure=None)
+        self._index = FMIndex(structure, locate_structure=None, ftab=ftab)
 
     def _place_structure(self) -> None:
         """Allocate one bank per logical array of the structure.
@@ -142,6 +175,17 @@ class BackwardSearchKernel:
             self.bram.allocate("global_rank_table", root.tables.size_in_bytes())
         self.bram.allocate("c_array", self.structure.C.nbytes, data=self.structure.C)
         self.bram.allocate("meta", 16)
+        if self.ftab is not None:
+            # K-mer jump-start LUT: one bank holding (lo, hi, steps) per
+            # 4^k entry, read as a single burst at pipeline entry.
+            ft = self.ftab
+            image = np.concatenate(
+                [
+                    np.frombuffer(arr.tobytes(), dtype=np.uint8)
+                    for arr in (ft.lo, ft.hi, ft.steps)
+                ]
+            )
+            self.bram.allocate("ftab_lut", image.nbytes, data=image)
 
     @property
     def n_rows(self) -> int:
@@ -184,14 +228,18 @@ class BackwardSearchKernel:
         hw_total = 0
         sw_total = 0
         for i, q in enumerate(queries):
+            f_steps = int(steps[i])
+            r_steps = int(steps[n + i])
             out = QueryOutcome(
                 query_id=q.query_id,
                 fwd_start=int(lo[i]),
                 fwd_end=int(hi[i]),
                 rc_start=int(lo[n + i]),
                 rc_end=int(hi[n + i]),
-                fwd_steps=int(steps[i]),
-                rc_steps=int(steps[n + i]),
+                fwd_steps=f_steps,
+                rc_steps=r_steps,
+                fwd_exec_steps=executed_steps(self.ftab, len(seqs[i]), f_steps),
+                rc_exec_steps=executed_steps(self.ftab, len(rcs[i]), r_steps),
             )
             outcomes.append(out)
             hw_total += out.hw_steps
@@ -208,6 +256,8 @@ class BackwardSearchKernel:
                     rc_end=bad.rc_start,
                     fwd_steps=bad.fwd_steps,
                     rc_steps=bad.rc_steps,
+                    fwd_exec_steps=bad.fwd_exec_steps,
+                    rc_exec_steps=bad.rc_exec_steps,
                 )
         self._charge_bram(scope.delta)
         tel = get_telemetry()
@@ -247,6 +297,10 @@ class BackwardSearchKernel:
         if "global_rank_table" in t:
             t["global_rank_table"].read(delta.get("table_lookups", 0))
         t["c_array"].read(2 * delta.get("bs_steps", 0))
+        if "ftab_lut" in t:
+            # One burst per jump-start lookup; the counter's bs_steps is
+            # already net of the k iterations the burst replaces.
+            t["ftab_lut"].read(delta.get("ftab_lookups", 0))
 
     def structure_bytes(self) -> int:
         """On-chip footprint as placed (what the load overhead transfers)."""

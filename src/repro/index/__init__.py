@@ -15,6 +15,7 @@ from .flat import (
     verify_flat_index,
 )
 from .fm_index import FMIndex, SearchResult
+from .ftab import DEFAULT_FTAB_K, Ftab, build_ftab
 from .multiref import MultiReferenceIndex, MultiRefMapping, ReferenceHit
 from .occ_table import OccTable, pack_2bit, unpack_2bit
 from .partitioned import Chunk, PartitionedIndex
@@ -32,7 +33,9 @@ __all__ = [
     "BidirectionalFMIndex",
     "BuildReport",
     "Chunk",
+    "DEFAULT_FTAB_K",
     "FMIndex",
+    "Ftab",
     "IndexFormatError",
     "IndexValidationError",
     "MultiRefMapping",
@@ -44,6 +47,7 @@ __all__ = [
     "TextExtractor",
     "ValidationReport",
     "attach_index_from_buffer",
+    "build_ftab",
     "build_index",
     "detect_index_format",
     "encode_existing_bwt",

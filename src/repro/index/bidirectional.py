@@ -62,15 +62,21 @@ class BidirectionalFMIndex:
         The reference string (or 2-bit code array).
     b, sf:
         RRR parameters for both underlying structures.
+    ftab_k:
+        When set, both underlying indexes precompute k-mer jump-start
+        tables and :meth:`search` seeds its synchronized interval from
+        one table read per direction instead of ``k`` extension steps.
     """
 
     def __init__(self, text, b: int = 15, sf: int = 50,
-                 counters: OpCounters | None = None):
+                 counters: OpCounters | None = None,
+                 ftab_k: int | None = None):
         codes = encode(text) if isinstance(text, str) else np.asarray(text, dtype=np.uint8)
         self.counters = counters if counters is not None else OpCounters()
-        self.fwd, _ = build_index(codes, b=b, sf=sf, locate="full", counters=self.counters)
+        self.fwd, _ = build_index(codes, b=b, sf=sf, locate="full",
+                                  counters=self.counters, ftab_k=ftab_k)
         self.rev, _ = build_index(codes[::-1].copy(), b=b, sf=sf, locate="none",
-                                  counters=self.counters)
+                                  counters=self.counters, ftab_k=ftab_k)
         self.n_rows = self.fwd.n_rows
 
     # -- interval algebra ---------------------------------------------------------
@@ -132,10 +138,40 @@ class BidirectionalFMIndex:
         return BiInterval(lo, self.n_rows, lo, self.n_rows)
 
     def search(self, pattern) -> BiInterval:
-        """Exact search (leftward), returning the synchronized interval."""
+        """Exact search (leftward), returning the synchronized interval.
+
+        With jump-start tables attached (``ftab_k``), the length-``k``
+        suffix's forward interval comes from the forward table and the
+        reverse interval of the *reversed* suffix from the reverse
+        table — the two are synchronized by the invariant that equal
+        strings have equal counts in text and reversed text.  Entries
+        that emptied inside the seed region fall back to the stepwise
+        chain, so results stay bit-identical with and without tables.
+        """
         codes = encode(pattern) if isinstance(pattern, str) else np.asarray(pattern)
         if codes.size == 0:
             return self.empty_pattern()
+        ftab_f = self.fwd.ftab if self.fwd.use_ftab else None
+        ftab_r = self.rev.ftab if self.rev.use_ftab else None
+        if (
+            ftab_f is not None
+            and ftab_r is not None
+            and ftab_r.k == ftab_f.k
+            and codes.size >= ftab_f.k
+        ):
+            k = ftab_f.k
+            lo, hi, st = ftab_f.lookup(codes)
+            if st == k and lo < hi:
+                rev_kmer = np.ascontiguousarray(codes[-k:][::-1])
+                lo_r, hi_r, st_r = ftab_r.lookup(rev_kmer)
+                if st_r == k and hi_r - lo_r == hi - lo:
+                    self.counters.ftab_lookups += 2
+                    iv = BiInterval(lo, hi, lo_r, hi_r)
+                    for a in codes[:-k][::-1]:
+                        iv = self.extend_left(iv, int(a))
+                        if iv.empty:
+                            break
+                    return iv
         iv = self.whole()
         for a in codes[::-1]:
             iv = self.extend_left(iv, int(a))

@@ -31,6 +31,7 @@ from ..sequence.sampled_sa import FullSA, SampledSA
 from ..sequence.suffix_array import Method, suffix_array
 from ..telemetry import get_telemetry
 from .fm_index import FMIndex
+from .ftab import Ftab
 from .occ_table import OccTable
 
 Backend = Literal["rrr", "occ"]
@@ -56,6 +57,9 @@ class BuildReport:
     uncompressed_bytes: int
     bwt_entropy0: float
     bwt_runs: dict = field(default_factory=dict)
+    #: K-mer jump-start table build time and footprint (0 when disabled).
+    ftab_seconds: float = 0.0
+    ftab_bytes: int = 0
 
     @property
     def compression_ratio(self) -> float:
@@ -81,13 +85,17 @@ def build_index(
     occ_checkpoint_words: int = 4,
     store_sentinel_in_tree: bool = False,
     counters: OpCounters | None = None,
+    ftab_k: int | None = None,
 ) -> tuple[FMIndex, BuildReport]:
     """Build a queryable index from a DNA string or code array.
 
     Parameters mirror the paper's tunables: ``b``/``sf`` control the RRR
     encoding (Figs. 5-7), ``backend`` selects succinct vs. checkpointed
     Occ (structure ablation), ``locate`` picks the host-side position
-    store.
+    store.  ``ftab_k`` additionally precomputes the k-mer jump-start
+    table (:mod:`repro.index.ftab`, 4^k entries; Bowtie2's default order
+    is 10) — queries then skip their first ``k`` backward-search steps
+    with one table read, bit-identically.
     """
     codes = encode(text) if isinstance(text, str) else np.asarray(text, dtype=np.uint8)
 
@@ -125,7 +133,15 @@ def build_index(
         else:
             raise ValueError(f"unknown locate structure {locate!r}")
 
-        index = FMIndex(struct, locate_structure=loc, counters=counters)
+        ftab = None
+        ftab_seconds = 0.0
+        if ftab_k is not None:
+            with tel.span("index.ftab", cat="index", k=ftab_k):
+                t_ft = time.perf_counter()
+                ftab = Ftab.build(struct, k=ftab_k)
+                ftab_seconds = time.perf_counter() - t_ft
+
+        index = FMIndex(struct, locate_structure=loc, counters=counters, ftab=ftab)
         sym = bwt.symbols_without_sentinel()
         report = BuildReport(
             text_length=int(codes.size),
@@ -138,6 +154,8 @@ def build_index(
             uncompressed_bytes=bwt.length,
             bwt_entropy0=entropy0(sym) if sym.size else 0.0,
             bwt_runs=run_length_stats(bwt),
+            ftab_seconds=ftab_seconds,
+            ftab_bytes=ftab.size_in_bytes() if ftab is not None else 0,
         )
     m = tel.metrics
     m.counter("index_builds_total", "Index builds completed").inc()

@@ -48,6 +48,7 @@ from ..sequence.bwt import BWT
 from ..sequence.sampled_sa import FullSA, SampledSA
 from ..telemetry import get_telemetry
 from .fm_index import FMIndex
+from .ftab import Ftab
 from .occ_table import OccTable
 from .serialization import IndexFormatError, load_index, load_multiref_index
 
@@ -70,8 +71,11 @@ def export_index(index: FMIndex) -> tuple[dict, dict[str, np.ndarray]]:
     """Decompose ``index`` into a JSON-able meta dict and named arrays.
 
     Segment names: ``bwt_codes`` and ``sa`` (the raw transform, shared
-    with locate), ``backend/...`` (the encoded succinct layout), and
-    ``locate/...`` for locate structures with their own storage.
+    with locate), ``backend/...`` (the encoded succinct layout),
+    ``locate/...`` for locate structures with their own storage, and
+    ``ftab/...`` for the optional k-mer jump-start table (a versioned
+    optional segment group — containers written without it load fine,
+    and readers predating it ignore unknown ``meta`` keys).
     """
     backend = index.backend
     if isinstance(backend, BWTStructure):
@@ -116,6 +120,11 @@ def export_index(index: FMIndex) -> tuple[dict, dict[str, np.ndarray]]:
         "locate": locate_kind,
         "locate_meta": locate_meta,
     }
+    if index.ftab is not None:
+        ftab_meta, ftab_arrays = index.ftab.export_arrays()
+        meta["ftab"] = ftab_meta
+        for name, arr in ftab_arrays.items():
+            segments[f"ftab/{name}"] = arr
     return meta, segments
 
 
@@ -324,9 +333,26 @@ def _rehydrate(
             loc = None
         else:
             raise IndexFormatError(f"unknown locate kind {locate!r}")
+        # Optional k-mer jump-start table: absent in containers written
+        # before the segment existed — they attach with ftab=None.
+        ftab = None
+        if meta.get("ftab"):
+            try:
+                ftab = Ftab.from_arrays(
+                    meta["ftab"],
+                    {
+                        name.removeprefix("ftab/"): arr
+                        for name, arr in views.items()
+                        if name.startswith("ftab/")
+                    },
+                )
+            except ValueError as exc:
+                raise IndexFormatError(
+                    f"flat container ftab segment invalid: {exc}"
+                ) from exc
     except KeyError as exc:
         raise IndexFormatError(f"flat container missing field: {exc}") from exc
-    return FMIndex(backend, locate_structure=loc, counters=counters)
+    return FMIndex(backend, locate_structure=loc, counters=counters, ftab=ftab)
 
 
 def attach_index_from_buffer(

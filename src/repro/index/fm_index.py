@@ -37,12 +37,18 @@ from ..core.counters import GLOBAL_COUNTERS, OpCounters
 from ..sequence.alphabet import encode
 from ..sequence.sampled_sa import FullSA, SampledSA
 from ..telemetry import get_telemetry
+from .ftab import Ftab
 
 SIGMA = 4
 
 
 class RankBackend(Protocol):
-    """What a rank structure must provide to drive backward search."""
+    """What a rank structure must provide to drive backward search.
+
+    ``occ2_many`` — the fused boundary-pair rank — is looked up with
+    ``getattr`` at query time, so backends without it still work (the
+    search falls back to two ``occ_many`` calls per symbol).
+    """
 
     n_rows: int
     counters: OpCounters
@@ -89,6 +95,12 @@ class FMIndex:
         choice) or :class:`~repro.sequence.sampled_sa.SampledSA`.
     counters:
         Defaults to the backend's counters.
+    ftab:
+        Optional :class:`~repro.index.ftab.Ftab` jump-start table.  When
+        attached, every query of length ``>= ftab.k`` starts at step
+        ``k`` with one table read instead of ``k`` backward-search
+        steps; results are bit-identical either way.  ``use_ftab``
+        toggles it at query time without detaching (``map --no-ftab``).
     """
 
     def __init__(
@@ -96,6 +108,7 @@ class FMIndex:
         backend: RankBackend,
         locate_structure: FullSA | SampledSA | None = None,
         counters: OpCounters | None = None,
+        ftab: Ftab | None = None,
     ):
         self.backend = backend
         self.locate_structure = locate_structure
@@ -104,6 +117,8 @@ class FMIndex:
             if counters is not None
             else getattr(backend, "counters", GLOBAL_COUNTERS)
         )
+        self.ftab = ftab
+        self.use_ftab = True
 
     @property
     def n_rows(self) -> int:
@@ -139,7 +154,28 @@ class FMIndex:
         lo, hi = 0, self.n_rows
         steps = 0
         backend = self.backend
-        for a in codes[::-1]:
+        tail = codes[::-1]
+        ftab = self.ftab if self.use_ftab else None
+        if ftab is not None and codes.size >= ftab.k:
+            # Jump-start: one table read replaces the first k steps.  The
+            # entry carries the exact (lo, hi, steps) the stepwise
+            # recurrence would produce, including early-emptied k-mers.
+            lo, hi, steps = ftab.lookup(codes)
+            self.counters.ftab_lookups += 1
+            tel = get_telemetry()
+            if tel.enabled:
+                m = tel.metrics
+                m.counter(
+                    "ftab_hits_total", "Queries jump-started from the k-mer table"
+                ).inc()
+                m.histogram(
+                    "ftab_steps_saved",
+                    "Backward-search steps resolved per k-mer table hit",
+                ).observe(float(steps))
+            if lo >= hi:
+                return SearchResult(start=lo, end=lo, steps=steps)
+            tail = tail[ftab.k :]
+        for a in tail:
             a = int(a)
             lo = backend.count_smaller(a) + backend.occ(a, lo)
             hi = backend.count_smaller(a) + backend.occ(a, hi)
@@ -200,22 +236,59 @@ class FMIndex:
         steps = np.zeros(nq, dtype=np.int64)
         active = lengths > 0
         backend = self.backend
-        for t in range(max_len):
-            cur = active & (t < lengths)
-            if not np.any(cur):
+        # K-mer jump-start: queries of length >= k read their first-k
+        # interval (and exact step count) from the table and join the
+        # step loop at column k; shorter queries start at column 0.
+        start_col = np.zeros(nq, dtype=np.int64)
+        ftab = self.ftab if self.use_ftab else None
+        ftab_steps: np.ndarray | None = None
+        if ftab is not None and max_len >= ftab.k:
+            prim = np.flatnonzero(lengths >= ftab.k)
+            if prim.size:
+                tidx = ftab.indices_from_reversed(mat[prim, : ftab.k])
+                lo[prim] = ftab.lo[tidx]
+                hi[prim] = ftab.hi[tidx]
+                ftab_steps = ftab.steps[tidx].astype(np.int64)
+                steps[prim] = ftab_steps
+                # Entries emptied inside the table region are finished.
+                active[prim[lo[prim] >= hi[prim]]] = False
+                start_col[prim] = ftab.k
+                self.counters.ftab_lookups += int(prim.size)
+        # count_smaller is invariant per symbol — hoist it out of the
+        # step loop instead of re-reading C every (step, symbol) pair.
+        csmall = np.array(
+            [backend.count_smaller(a) for a in range(SIGMA)], dtype=np.int64
+        )
+        occ2 = getattr(backend, "occ2_many", None)
+        executed = 0
+        t_begin = int(start_col[active].min()) if np.any(active) else 0
+        for t in range(t_begin, max_len):
+            remaining = active & (t < lengths)
+            if not np.any(remaining):
                 break
+            cur = remaining & (start_col <= t)
+            if not np.any(cur):
+                continue
             col = mat[:, t]
             for a in range(SIGMA):
                 sel = cur & (col == a)
                 if not np.any(sel):
                     continue
                 idx = np.flatnonzero(sel)
-                ca = backend.count_smaller(a)
-                lo[idx] = ca + backend.occ_many(a, lo[idx])
-                hi[idx] = ca + backend.occ_many(a, hi[idx])
+                ca = csmall[a]
+                if occ2 is not None:
+                    # Fused kernel: both boundary ranks in one pass.
+                    rlo, rhi = occ2(a, lo[idx], hi[idx])
+                    lo[idx] = ca + rlo
+                    hi[idx] = ca + rhi
+                else:
+                    lo[idx] = ca + backend.occ_many(a, lo[idx])
+                    hi[idx] = ca + backend.occ_many(a, hi[idx])
             steps[cur] += 1
+            n_cur = int(np.count_nonzero(cur))
+            executed += n_cur
             if track_steps:
-                self.counters.bs_steps += int(np.count_nonzero(cur))
+                self.counters.bs_steps += n_cur
             emptied = cur & (lo >= hi)
             hi[emptied] = lo[emptied]
             active &= ~emptied
@@ -226,7 +299,17 @@ class FMIndex:
             m.counter("fm_queries_total", "Queries through batched search").inc(nq)
             m.counter(
                 "fm_bs_steps_total", "Backward-search steps (batched path)"
-            ).inc(int(steps.sum()))
+            ).inc(executed)
+            if ftab_steps is not None and ftab_steps.size:
+                m.counter(
+                    "ftab_hits_total", "Queries jump-started from the k-mer table"
+                ).inc(int(ftab_steps.size))
+                hist = m.histogram(
+                    "ftab_steps_saved",
+                    "Backward-search steps resolved per k-mer table hit",
+                )
+                for v in ftab_steps:
+                    hist.observe(float(v))
         return lo, hi, steps
 
     def count_batch(self, patterns: Sequence) -> np.ndarray:

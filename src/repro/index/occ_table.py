@@ -187,6 +187,21 @@ class OccTable:
             counts[active] += popcount_u64(hits & masks)
         return counts
 
+    def occ2_many(
+        self, symbol: int, lo_positions: np.ndarray, hi_positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fused :meth:`occ_many` at both interval boundaries.
+
+        A single vectorized pass serves the concatenated bound sets, so
+        the checkpoint gather and the per-word popcount scan are shared
+        between ``lo`` and ``hi`` instead of running twice.  Results and
+        counter charges match two :meth:`occ_many` calls.
+        """
+        plo = np.asarray(lo_positions, dtype=np.int64)
+        phi = np.asarray(hi_positions, dtype=np.int64)
+        counts = self.occ_many(symbol, np.concatenate([plo, phi]))
+        return counts[: plo.size], counts[plo.size :]
+
     def count_smaller(self, symbol: int) -> int:
         return int(self.C[symbol])
 

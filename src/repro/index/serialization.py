@@ -34,6 +34,7 @@ from ..sequence.bwt import BWT
 from ..sequence.sampled_sa import FullSA, SampledSA
 from ..telemetry import get_telemetry
 from .fm_index import FMIndex
+from .ftab import Ftab
 from .occ_table import OccTable
 
 FORMAT_VERSION = 1
@@ -185,6 +186,13 @@ def save_index(index: FMIndex, path: str | Path) -> None:
         raise IndexFormatError(
             f"cannot serialize locate structure of type {type(loc).__name__}"
         )
+    if index.ftab is not None:
+        # Optional k-mer jump-start table; archives without these keys
+        # load exactly as before (ftab=None).
+        ftab_meta, ftab_arrays = index.ftab.export_arrays()
+        meta["ftab"] = ftab_meta
+        for name, arr in ftab_arrays.items():
+            arrays[f"ftab_{name}"] = arr
     _attach_crcs(arrays, meta)
     arrays["meta_json"] = _meta_array(meta)
     np.savez_compressed(path, **arrays)
@@ -231,7 +239,20 @@ def _build_index_from(
         loc = None
     else:
         raise IndexFormatError(f"unknown locate kind {locate!r}")
-    return FMIndex(backend, locate_structure=loc, counters=counters)
+    ftab = None
+    if meta.get("ftab"):
+        try:
+            ftab = Ftab.from_arrays(
+                meta["ftab"],
+                {
+                    "lo": arrays["ftab_lo"],
+                    "hi": arrays["ftab_hi"],
+                    "steps": arrays["ftab_steps"],
+                },
+            )
+        except (KeyError, ValueError) as exc:
+            raise IndexFormatError(f"archive ftab invalid: {exc}") from exc
+    return FMIndex(backend, locate_structure=loc, counters=counters, ftab=ftab)
 
 
 def load_index(path: str | Path, counters: OpCounters | None = None) -> FMIndex:

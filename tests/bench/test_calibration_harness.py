@@ -140,12 +140,19 @@ class TestHarness:
             read_length=50,
             scale=SCALE,
         )
-        assert len(rows) == 2
-        r0 = next(r for r in rows if r["mapping_ratio"] == 0.0)
-        r1 = next(r for r in rows if r["mapping_ratio"] == 1.0)
+        assert len(rows) == 4  # 2 ratios x jump-start table off/on
+        by = {(r["ftab"], r["mapping_ratio"]): r for r in rows}
         # Fig. 7 trend: mapped reads do more backward-search work.
-        assert r1["bs_steps_per_read"] > r0["bs_steps_per_read"]
-        assert r1["native_cpu_ms_240k"] > r0["native_cpu_ms_240k"]
+        for use_ftab in (False, True):
+            r0, r1 = by[(use_ftab, 0.0)], by[(use_ftab, 1.0)]
+            assert r1["bs_steps_per_read"] > r0["bs_steps_per_read"]
+            assert r1["native_cpu_ms_240k"] > r0["native_cpu_ms_240k"]
+        # The table strictly reduces executed work at every point.
+        for ratio in (0.0, 1.0):
+            assert (
+                by[(True, ratio)]["bs_steps_per_read"]
+                < by[(False, ratio)]["bs_steps_per_read"]
+            )
 
 
 class TestReporting:
