@@ -66,7 +66,7 @@ def bench_open_flat_mmap(benchmark, saved_paths):
     benchmark(lambda: load_index_flat(flat))
 
 
-def bench_startup_report(save_report, serving_index, saved_paths):
+def bench_startup_report(save_report, record_trajectory, serving_index, saved_paths):
     """One table: open, hand-off, and throughput — with acceptance gates."""
     npz, flat = saved_paths
 
@@ -134,6 +134,20 @@ def bench_startup_report(save_report, serving_index, saved_paths):
     )
     text += "\n(pool rate reflects this machine's core count; on one core the IPC overhead dominates)"
     save_report("serving_startup", text)
+    record_trajectory(
+        "serving_startup",
+        {
+            "open_npz_ms": t_npz * 1e3,
+            "open_flat_ms": t_flat * 1e3,
+            "open_speedup": t_npz / t_flat,
+            "handoff_pickle_ms": t_pickle * 1e3,
+            "handoff_attach_ms": t_attach * 1e3,
+            "handoff_speedup": t_pickle / t_attach,
+            "pool2_reads_per_s": outcome.n_reads / t_pool,
+        },
+        seed=17,
+        n_reads=len(reads),
+    )
 
     # Acceptance: mmap open is O(1) in index size — >=10x faster than the
     # npz decompress-and-rebuild path, and attach beats pickle.

@@ -1,0 +1,162 @@
+"""CI regression gate over the named hot paths.
+
+A *hot path* is a workload whose speed the project has publicly claimed
+(README/EXPERIMENTS numbers) and therefore defends: the gate compares
+the most recent non-baseline run of each against the stored baseline
+and exits non-zero on a statistically significant slowdown beyond the
+path's threshold (see :func:`repro.bench.platform.stats.compare` for
+the two-part decision rule).
+
+Cross-host comparisons are advisory by default — wall clock from a
+different machine is not evidence of a code regression — and only
+hard-fail under ``strict_cross_host``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .stats import Comparison, compare
+from .store import ResultsStore
+
+
+@dataclass(frozen=True)
+class HotPath:
+    """One gated workload: metric watched and regression threshold."""
+
+    name: str
+    workload: str
+    metric: str = "wall_seconds"
+    #: Fractional slowdown bar (0.25 ⇒ fail when > 25% slower with
+    #: significance).  Sized to each path's historical run-to-run noise.
+    threshold: float = 0.25
+
+
+#: The registry the gate walks.  Order is report order.
+HOT_PATHS: tuple[HotPath, ...] = (
+    HotPath("count-only-mapping", "count_only_mapping", threshold=0.25),
+    HotPath("flat-container-open", "flat_open", threshold=0.50),
+    HotPath("pool-attach", "pool_attach", threshold=0.50),
+    HotPath("occ2-fused-kernel", "occ2_fused", threshold=0.25),
+)
+
+
+@dataclass
+class PathVerdict:
+    """Gate outcome for one hot path."""
+
+    path: HotPath
+    comparison: Comparison | None
+    skipped_reason: str | None = None
+    cross_host: bool = False
+    advisory: bool = False
+
+    @property
+    def failed(self) -> bool:
+        if self.comparison is None or self.advisory:
+            return False
+        return self.comparison.regressed
+
+    def describe(self) -> str:
+        if self.comparison is None:
+            return f"{self.path.name}: SKIPPED ({self.skipped_reason})"
+        note = ""
+        if self.cross_host:
+            note = " [cross-host baseline%s]" % (
+                ", advisory" if self.advisory else ""
+            )
+        return f"{self.path.name}: {self.comparison.describe()}{note}"
+
+
+@dataclass
+class GateReport:
+    """All verdicts from one gate evaluation."""
+
+    verdicts: list[PathVerdict] = field(default_factory=list)
+    git_hash: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not any(v.failed for v in self.verdicts)
+
+    @property
+    def evaluated(self) -> int:
+        return sum(1 for v in self.verdicts if v.comparison is not None)
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"bench gate @ {self.git_hash or 'unknown'}: "
+            f"{self.evaluated}/{len(self.verdicts)} hot paths evaluated"
+        ]
+        lines += ["  " + v.describe() for v in self.verdicts]
+        lines.append("gate: " + ("PASS" if self.ok else "FAIL"))
+        return lines
+
+
+def run_gate(
+    store: ResultsStore,
+    git_hash: str | None = None,
+    host: str | None = None,
+    threshold_override: float | None = None,
+    alpha: float = 0.01,
+    strict_cross_host: bool = False,
+    paths: tuple[HotPath, ...] = HOT_PATHS,
+) -> GateReport:
+    """Evaluate every registered hot path at ``git_hash`` against baseline.
+
+    ``git_hash`` defaults to the most recent non-baseline run in the
+    store.  Paths without current samples or without a baseline are
+    reported as skipped, never failed — an absent measurement is a
+    coverage gap, not a regression.
+    """
+    if git_hash is None:
+        git_hash = store.latest_git_hash()
+    report = GateReport(git_hash=git_hash)
+    for path in paths:
+        threshold = (
+            threshold_override if threshold_override is not None else path.threshold
+        )
+        current = store.samples(
+            path.workload, metric=path.metric, git_hash=git_hash,
+            is_baseline=False,
+        ) if git_hash else []
+        if not current:
+            report.verdicts.append(
+                PathVerdict(path, None, skipped_reason="no current samples")
+            )
+            continue
+        current_hosts = {
+            r.host for r in store.query(
+                workload=path.workload, phase="steady", git_hash=git_hash,
+                is_baseline=False,
+            )
+        }
+        effective_host = host or (
+            next(iter(current_hosts)) if len(current_hosts) == 1 else None
+        )
+        baseline = store.baseline_samples(
+            path.workload, metric=path.metric, host=effective_host
+        )
+        if not baseline:
+            report.verdicts.append(
+                PathVerdict(path, None, skipped_reason="no baseline samples")
+            )
+            continue
+        baseline_hosts = {
+            r.host for r in store.query(
+                workload=path.workload, phase="steady", is_baseline=True
+            )
+        }
+        cross_host = bool(
+            effective_host is not None and effective_host not in baseline_hosts
+        )
+        comparison = compare(baseline, current, threshold=threshold, alpha=alpha)
+        report.verdicts.append(
+            PathVerdict(
+                path,
+                comparison,
+                cross_host=cross_host,
+                advisory=cross_host and not strict_cross_host,
+            )
+        )
+    return report

@@ -1,0 +1,126 @@
+"""Seed-baseline migration: the legacy ``.txt`` tables → trial records.
+
+PRs 1-5 left their evidence as rendered monospace tables under
+``benchmarks/results/``.  This module parses the hot-path numbers out
+of those tables and synthesizes baseline :class:`TrialRecord` sets from
+them, so the very first ``repro bench gate`` run has something to
+compare against instead of waiting a full release cycle for history to
+accumulate.
+
+Synthesized records are honest about what they are: ``synthetic=True``,
+``git_hash="seed-legacy-txt"``, and a ``seed-host`` fingerprint that can
+never collide with a real machine's — the gate therefore treats them as
+a cross-host baseline (advisory unless ``--strict-cross-host``).
+Each point value is expanded into ``reps`` samples with a small
+deterministic jitter so the rank test has a distribution to work with.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from pathlib import Path
+
+import numpy as np
+
+from .store import ResultsStore, TrialRecord
+
+SEED_GIT_HASH = "seed-legacy-txt"
+SEED_HOST = "seed-host"
+
+#: (workload, legacy file, regex over the table text, unit multiplier to
+#: seconds).  The regex's group 1 is the number.
+_LEGACY_SOURCES: tuple[tuple[str, str, str, float], ...] = (
+    (
+        "count_only_mapping",
+        "fig7_ftab_count_only.txt",
+        r"search_batch \(count-only\)\s*\|\s*on\s*\|\s*([0-9.]+)",
+        1e-3,
+    ),
+    (
+        "flat_open",
+        "serving_startup.txt",
+        r"open flat \(mmap\)\s*\|\s*([0-9.]+)\s*ms",
+        1e-3,
+    ),
+    (
+        "pool_attach",
+        "serving_startup.txt",
+        r"hand-off: shm attach\s*\|\s*([0-9.]+)\s*ms",
+        1e-3,
+    ),
+    (
+        "occ2_fused",
+        "micro_rank_occ_fused.txt",
+        r"occ2_many \(fused descent\)\s*\|\s*([0-9.]+)",
+        1e-3,
+    ),
+)
+
+
+class LegacyParseError(ValueError):
+    """A legacy results table did not match the expected layout."""
+
+
+def parse_legacy_seconds(results_dir: str | Path) -> dict[str, float]:
+    """Extract each hot path's point estimate (seconds) from the txt pile."""
+    results_dir = Path(results_dir)
+    out: dict[str, float] = {}
+    for workload, filename, pattern, unit in _LEGACY_SOURCES:
+        path = results_dir / filename
+        if not path.exists():
+            continue
+        m = re.search(pattern, path.read_text())
+        if m is None:
+            raise LegacyParseError(
+                f"{path.name}: no match for {workload!r} ({pattern!r})"
+            )
+        out[workload] = float(m.group(1)) * unit
+    return out
+
+
+def synthesize_baseline(
+    seconds_by_workload: dict[str, float],
+    reps: int = 8,
+    jitter: float = 0.01,
+    seed: int = 0,
+) -> list[TrialRecord]:
+    """Expand point estimates into jittered synthetic baseline samples."""
+    rng = np.random.default_rng(seed)
+    now = time.time()
+    records: list[TrialRecord] = []
+    for workload, seconds in sorted(seconds_by_workload.items()):
+        samples = seconds * (1.0 + rng.uniform(-jitter, jitter, size=reps))
+        for rep, s in enumerate(samples):
+            records.append(
+                TrialRecord(
+                    experiment=f"seed_{workload}",
+                    workload=workload,
+                    config_hash="legacy-txt",
+                    git_hash=SEED_GIT_HASH,
+                    seed=seed,
+                    host=SEED_HOST,
+                    rep=rep,
+                    phase="steady",
+                    wall_seconds=float(s),
+                    created_utc=now,
+                    is_baseline=True,
+                    synthetic=True,
+                    metrics={"source": "benchmarks/results", "point_seconds": seconds},
+                )
+            )
+    return records
+
+
+def migrate_legacy_results(
+    results_dir: str | Path,
+    store: ResultsStore,
+    reps: int = 8,
+    jitter: float = 0.01,
+    seed: int = 0,
+) -> list[TrialRecord]:
+    """Parse the txt pile and insert the synthetic seed baseline."""
+    seconds = parse_legacy_seconds(results_dir)
+    records = synthesize_baseline(seconds, reps=reps, jitter=jitter, seed=seed)
+    store.insert_many(records)
+    return records

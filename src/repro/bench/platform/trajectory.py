@@ -1,0 +1,93 @@
+"""Machine-readable perf trajectory: ``BENCH_<series>.json`` files.
+
+Each series file is an append-only list of points, one per measuring
+run, keyed by git hash + host fingerprint + seed — the minimal record
+that lets a later reader plot a metric over the project's history and
+discard points from foreign machines.  The legacy ``.txt`` tables keep
+being written next to them; these files are the diff-able numbers the
+ISSUE's "no machine-readable trajectory" complaint was about.
+
+Format::
+
+    {
+      "series": "fig7",
+      "schema": 1,
+      "points": [
+        {"git_hash": ..., "host": ..., "seed": ..., "created_utc": ...,
+         "metrics": {"<name>": <number>, ...}, ...extra provenance...},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from .store import git_revision, host_fingerprint
+
+TRAJECTORY_SCHEMA = 1
+
+
+def trajectory_path(results_dir: str | Path, series: str) -> Path:
+    return Path(results_dir) / f"BENCH_{series}.json"
+
+
+def load_trajectory(results_dir: str | Path, series: str) -> dict:
+    path = trajectory_path(results_dir, series)
+    if not path.exists():
+        return {"series": series, "schema": TRAJECTORY_SCHEMA, "points": []}
+    doc = json.loads(path.read_text())
+    doc.setdefault("points", [])
+    return doc
+
+
+def append_trajectory_point(
+    results_dir: str | Path,
+    series: str,
+    metrics: dict,
+    *,
+    git_hash: str | None = None,
+    host: str | None = None,
+    seed: int | None = None,
+    **extra,
+) -> Path:
+    """Append one provenance-stamped point to ``BENCH_<series>.json``.
+
+    Re-running at the same (git hash, host) replaces the previous point
+    instead of stacking duplicates, so a bench re-run while iterating
+    locally updates in place and the committed file stays one point per
+    commit per machine.
+    """
+    doc = load_trajectory(results_dir, series)
+    point = {
+        "git_hash": git_hash if git_hash is not None else git_revision(),
+        "host": host if host is not None else host_fingerprint(),
+        "seed": seed,
+        "created_utc": time.time(),
+        "metrics": {k: _jsonable(v) for k, v in metrics.items()},
+        **extra,
+    }
+    doc["points"] = [
+        p for p in doc["points"]
+        if not (p.get("git_hash") == point["git_hash"]
+                and p.get("host") == point["host"])
+    ] + [point]
+    path = trajectory_path(results_dir, series)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _jsonable(v):
+    """Coerce numpy scalars to plain Python numbers."""
+    try:
+        import numpy as np
+
+        if isinstance(v, np.generic):
+            return v.item()
+    except ImportError:  # pragma: no cover
+        pass
+    return v

@@ -1,0 +1,286 @@
+"""Registered workloads: the measurable kernels behind every experiment.
+
+A workload owns its substrate (reference, index, container, published
+block) and exposes a single timed operation.  The dispatcher times
+``run_once`` with ``time.perf_counter`` — workloads never time
+themselves — and persists whatever auxiliary metrics ``run_once``
+returns next to the wall clock.
+
+The four *named hot paths* the regression gate watches are all here:
+
+========================  ====================================================
+``count_only_mapping``    ftab-primed ``search_batch`` over unmapped-heavy
+                          reads (PR 5's 1.97x claim)
+``flat_open``             zero-copy ``mmap`` open of a flat container
+                          (PR 3's ~105x claim)
+``pool_attach``           shared-memory attach of a published index
+``occ2_fused``            fused lo/hi Occ kernel, 4 symbols × query bounds
+========================  ====================================================
+
+plus ``pool_mapping`` (end-to-end batch through the shared-memory
+:class:`~repro.serving.pool.MapperPool`) and ``fpga_mapping`` (the
+simulated accelerator, optionally under a fault plan, so degraded runs
+land in the trajectory with their fault-ladder counters attached).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..fixtures import make_dna, profile_reference, seeded_reads
+from .configs import ExperimentConfig
+
+WORKLOADS: dict[str, Callable[[ExperimentConfig], "Workload"]] = {}
+
+
+class WorkloadError(KeyError):
+    """Unknown workload name."""
+
+
+def register(name: str):
+    def deco(cls):
+        cls.workload_name = name
+        WORKLOADS[name] = cls
+        return cls
+    return deco
+
+
+def create_workload(config: ExperimentConfig) -> "Workload":
+    try:
+        cls = WORKLOADS[config.workload]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {config.workload!r}; have {sorted(WORKLOADS)}"
+        ) from None
+    return cls(config)
+
+
+class Workload:
+    """Base workload: build substrate in ``setup``, measure ``run_once``."""
+
+    workload_name = "?"
+    #: Set by pooled workloads; the dispatcher then builds a MapperPool
+    #: around :meth:`pool_index` and assigns it to ``self.pool``.
+    needs_pool = False
+    #: The dispatcher calls ``run_once`` this many times inside one timed
+    #: trial and records elapsed / inner_loop, so sub-millisecond kernels
+    #: amortize timer and scheduler jitter while keeping per-op units.
+    inner_loop = 1
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        self.params = config.param_dict
+        self.pool = None
+
+    def setup(self, scratch: Path) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def pool_index(self):
+        raise NotImplementedError(f"{self.workload_name} does not run pooled")
+
+    def run_once(self) -> dict:
+        raise NotImplementedError
+
+    def teardown(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+# -- substrate scales --------------------------------------------------------
+
+#: (reference bases, n_reads, read length, ftab k) per scale.  ``medium``
+#: uses the ecoli profile reference, matching the legacy bench scripts.
+_MAPPING_SCALES = {
+    "tiny": (5_000, 100, 50, 6),
+    "small": (50_000, 400, 100, 8),
+    "medium": (None, 1_200, 100, 10),
+}
+
+_OCC_SCALES = {"tiny": 20_000, "small": 100_000, "medium": 250_000}
+_OCC_QUERIES = {"tiny": 500, "small": 2_000, "medium": 2_000}
+
+
+def _reference_for(scale: str, seed: int) -> str:
+    n_bases, _, _, _ = _MAPPING_SCALES[scale]
+    if n_bases is None:
+        return profile_reference("ecoli", seed=seed)
+    return make_dna(n_bases, seed=seed)
+
+
+def _built_index(scale: str, seed: int, backend: str, ftab_k: int | None):
+    from ...core.counters import OpCounters
+    from ...index.builder import build_index
+
+    ref = _reference_for(scale, seed)
+    index, _ = build_index(
+        ref, b=15, sf=50, backend=backend, counters=OpCounters(), ftab_k=ftab_k
+    )
+    return ref, index
+
+
+@register("count_only_mapping")
+class CountOnlyMapping(Workload):
+    """Ftab-primed count-only batch search over unmapped-heavy reads."""
+
+    def setup(self, scratch: Path) -> None:
+        scale, seed = self.config.scale, self.config.seed
+        _, n_reads, read_len, default_k = _MAPPING_SCALES[scale]
+        ftab_k = int(self.params.get("ftab_k", default_k))
+        if not self.params.get("ftab", True):
+            ftab_k = None
+        ref, self.index = _built_index(scale, seed, self.config.backend, ftab_k)
+        self.index.backend.build_batch_cache()
+        ratio = float(self.params.get("mapping_ratio", 0.0))
+        self.reads = seeded_reads(ref, n_reads, read_len, ratio, seed=seed)
+
+    def run_once(self) -> dict:
+        lo, hi, steps = self.index.search_batch(self.reads)
+        return {
+            "reads": len(self.reads),
+            "bs_steps": int(np.asarray(steps).sum()),
+            "hits": int((np.asarray(hi) > np.asarray(lo)).sum()),
+        }
+
+
+@register("flat_open")
+class FlatOpen(Workload):
+    """O(1) mmap open of a flat container (vs the old decompress path)."""
+
+    inner_loop = 10
+
+    def setup(self, scratch: Path) -> None:
+        from ...index.flat import save_index_flat
+
+        _, self._index = _built_index("tiny" if self.config.scale == "tiny" else "small",
+                                      self.config.seed, self.config.backend, None)
+        self.path = scratch / "index.bwvr"
+        save_index_flat(self._index, self.path)
+        self.container_bytes = self.path.stat().st_size
+
+    def run_once(self) -> dict:
+        from ...index.flat import load_index_flat
+
+        index = load_index_flat(self.path)
+        n_rows = index.n_rows
+        del index
+        return {"container_bytes": self.container_bytes, "n_rows": n_rows}
+
+
+@register("pool_attach")
+class PoolAttach(Workload):
+    """Shared-memory attach + release against a published index block."""
+
+    inner_loop = 10
+
+    def setup(self, scratch: Path) -> None:
+        from ...serving.shared import SharedIndexBlock
+
+        _, index = _built_index("tiny" if self.config.scale == "tiny" else "small",
+                                self.config.seed, self.config.backend, None)
+        self.block = SharedIndexBlock(index)
+        self.spec = self.block.spec
+
+    def run_once(self) -> dict:
+        from ...serving.shared import attach_index, release_attachment
+
+        index, handle = attach_index(self.spec)
+        n_rows = index.n_rows
+        index = None
+        release_attachment(handle)
+        return {"n_rows": n_rows}
+
+    def teardown(self) -> None:
+        self.block.close()
+        self.block.unlink()
+
+
+@register("occ2_fused")
+class Occ2Fused(Workload):
+    """Fused lo/hi Occ descent: 4 symbols × N query-bound pairs."""
+
+    def setup(self, scratch: Path) -> None:
+        from ...core.bwt_structure import BWTStructure
+        from ...sequence.bwt import bwt_from_string
+
+        scale, seed = self.config.scale, self.config.seed
+        text = make_dna(_OCC_SCALES[scale], seed=seed)
+        self.structure = BWTStructure(bwt_from_string(text), b=15, sf=50)
+        self.structure.build_batch_cache()
+        rng = np.random.default_rng(seed + 3)
+        n = self.structure.n_rows
+        n_q = _OCC_QUERIES[scale]
+        self.plo = rng.integers(0, n + 1, n_q)
+        self.phi = rng.integers(0, n + 1, n_q)
+
+    def run_once(self) -> dict:
+        out = [self.structure.occ2_many(a, self.plo, self.phi) for a in range(4)]
+        return {"queries": 4 * len(self.plo), "checksum": int(out[0][0].sum())}
+
+
+@register("pool_mapping")
+class PoolMapping(Workload):
+    """End-to-end batch through the shared-memory MapperPool."""
+
+    needs_pool = True
+
+    def setup(self, scratch: Path) -> None:
+        scale, seed = self.config.scale, self.config.seed
+        _, n_reads, read_len, _ = _MAPPING_SCALES[scale]
+        ref, self._index = _built_index(scale, seed, self.config.backend, None)
+        ratio = float(self.params.get("mapping_ratio", 0.75))
+        self.reads = seeded_reads(ref, n_reads, read_len, ratio, seed=seed)
+
+    def pool_index(self):
+        return self._index
+
+    def run_once(self) -> dict:
+        outcome = self.pool.run_batch(self.reads)
+        return {
+            "reads": outcome.n_reads,
+            "mapped": outcome.mapped,
+            "bs_steps": outcome.op_counts.get("bs_steps", 0),
+        }
+
+
+@register("fpga_mapping")
+class FpgaMapping(Workload):
+    """Simulated accelerator run; ``faults`` param exercises the ladder.
+
+    Persisting these trials with their fault counters lets the report
+    correlate perf deltas with degraded (CPU-fallback) runs instead of
+    mistaking a ladder engagement for a code regression.
+    """
+
+    def setup(self, scratch: Path) -> None:
+        from ...fpga.accelerator import FPGAAccelerator
+
+        scale, seed = self.config.scale, self.config.seed
+        _, n_reads, read_len, _ = _MAPPING_SCALES[scale]
+        ref, index = _built_index(scale, seed, self.config.backend, None)
+        ratio = float(self.params.get("mapping_ratio", 0.75))
+        self.reads = seeded_reads(ref, n_reads, read_len, ratio, seed=seed)
+        fault_spec = str(self.params.get("faults", ""))
+        fault_plan = None
+        if fault_spec:
+            from ...faults import FaultPlan
+
+            fault_plan = FaultPlan.from_spec(fault_spec, seed=seed)
+        self.accelerator = FPGAAccelerator.for_index(index, fault_plan=fault_plan)
+
+    def run_once(self) -> dict:
+        run = self.accelerator.map_batch(self.reads)
+        return {
+            "reads": run.n_reads,
+            "modeled_seconds": run.modeled_seconds,
+            "degraded": int(run.degraded),
+            "retries": run.retries,
+            "reprograms": run.reprograms,
+        }
+
+
+def warm_clock() -> float:
+    """One throwaway clock read so the first trial doesn't pay TSC setup."""
+    return time.perf_counter()

@@ -20,6 +20,15 @@ downstream user needs:
     mismatch (DESIGN.md §9).
 ``serve``
     Start the web application.
+``bench``
+    The continuous-benchmarking platform (DESIGN.md §11):
+    ``bench run`` executes a declarative experiment suite and persists
+    trials (JSON + SQLite, keyed by git hash/config hash/seed/host),
+    ``bench report`` renders the HTML report with trajectory plots and
+    significance tests, ``bench gate`` exits non-zero on a significant
+    regression of any named hot path, and ``bench migrate-seed``
+    imports the legacy ``benchmarks/results/*.txt`` numbers as the
+    synthetic seed baseline.
 
 Run ``python -m repro.cli <subcommand> --help`` for per-command options.
 """
@@ -373,6 +382,77 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from .bench.platform import ResultsStore, resolve_suite, run_experiments
+
+    try:
+        configs = resolve_suite(args.suite)
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.reps is not None:
+        from dataclasses import replace
+
+        configs = [replace(c, repetitions=args.reps) for c in configs]
+    with ResultsStore(args.store) as store:
+        report = run_experiments(
+            configs,
+            store,
+            as_baseline=args.as_baseline,
+            bench_json_dir=args.bench_json,
+            progress=lambda msg: print(msg, file=sys.stderr),
+        )
+    print("\n".join(report.summary_lines()))
+    if report.skipped and args.strict:
+        return 1
+    return 0
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    from .bench.platform import ResultsStore, write_report
+
+    with ResultsStore(args.store) as store:
+        if store.count() == 0:
+            print(f"error: store {args.store} has no trials", file=sys.stderr)
+            return 2
+        path = write_report(store, args.output)
+    print(f"report -> {path}")
+    return 0
+
+
+def _cmd_bench_gate(args: argparse.Namespace) -> int:
+    from .bench.platform import ResultsStore, run_gate
+
+    with ResultsStore(args.store) as store:
+        report = run_gate(
+            store,
+            git_hash=args.git_hash,
+            threshold_override=args.threshold,
+            alpha=args.alpha,
+            strict_cross_host=args.strict_cross_host,
+        )
+    print("\n".join(report.summary_lines()))
+    if args.require_evaluated and report.evaluated == 0:
+        print("error: gate evaluated no hot paths", file=sys.stderr)
+        return 2
+    return 0 if report.ok else 1
+
+
+def _cmd_bench_migrate_seed(args: argparse.Namespace) -> int:
+    from .bench.platform import ResultsStore, migrate_legacy_results
+
+    with ResultsStore(args.store) as store:
+        records = migrate_legacy_results(
+            args.results, store, reps=args.reps, seed=args.seed
+        )
+    workloads = sorted({r.workload for r in records})
+    print(
+        f"migrated {len(records)} synthetic baseline trials "
+        f"({len(workloads)} hot paths: {', '.join(workloads)}) -> {args.store}"
+    )
+    return 0 if records else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .web.server import serve
 
@@ -542,6 +622,81 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_args(p)
     p.set_defaults(func=_cmd_selfcheck)
+
+    p = sub.add_parser(
+        "bench",
+        help="continuous-benchmarking platform: run/report/gate (DESIGN.md §11)",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    bp = bench_sub.add_parser("run", help="execute a declarative experiment suite")
+    bp.add_argument(
+        "--suite", default="smoke",
+        help="built-in suite name (smoke/hotpaths/tiny) or a suite JSON path",
+    )
+    bp.add_argument(
+        "--store", type=Path, default=Path("bench-store"),
+        help="results store directory (trials/*.json + trajectory.sqlite)",
+    )
+    bp.add_argument(
+        "--reps", type=int, default=None,
+        help="override every experiment's steady repetitions",
+    )
+    bp.add_argument(
+        "--as-baseline", action="store_true",
+        help="flag this run's trials as the gate's comparison baseline",
+    )
+    bp.add_argument(
+        "--bench-json", type=Path, default=None, metavar="DIR",
+        help="also append per-workload medians to DIR/BENCH_hotpaths.json",
+    )
+    bp.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero if any experiment in the suite failed to run",
+    )
+    bp.set_defaults(func=_cmd_bench_run)
+
+    bp = bench_sub.add_parser("report", help="render the HTML perf report")
+    bp.add_argument("--store", type=Path, default=Path("bench-store"))
+    bp.add_argument("-o", "--output", type=Path, default=Path("bench-report.html"))
+    bp.set_defaults(func=_cmd_bench_report)
+
+    bp = bench_sub.add_parser(
+        "gate",
+        help="fail (exit 1) on a significant regression of a named hot path",
+    )
+    bp.add_argument("--store", type=Path, default=Path("bench-store"))
+    bp.add_argument(
+        "--git-hash", default=None,
+        help="revision to gate (default: latest non-baseline run in the store)",
+    )
+    bp.add_argument(
+        "--threshold", type=float, default=None, metavar="FRAC",
+        help="override every hot path's regression threshold (e.g. 0.25)",
+    )
+    bp.add_argument("--alpha", type=float, default=0.01, help="significance level")
+    bp.add_argument(
+        "--strict-cross-host", action="store_true",
+        help="hard-fail on cross-host comparisons too (default: advisory)",
+    )
+    bp.add_argument(
+        "--require-evaluated", action="store_true",
+        help="exit 2 when no hot path had both samples and a baseline",
+    )
+    bp.set_defaults(func=_cmd_bench_gate)
+
+    bp = bench_sub.add_parser(
+        "migrate-seed",
+        help="import legacy benchmarks/results/*.txt numbers as the seed baseline",
+    )
+    bp.add_argument(
+        "--results", type=Path, default=Path("benchmarks/results"),
+        help="legacy results directory",
+    )
+    bp.add_argument("--store", type=Path, default=Path("bench-store"))
+    bp.add_argument("--reps", type=int, default=8, help="synthetic samples per path")
+    bp.add_argument("--seed", type=int, default=0)
+    bp.set_defaults(func=_cmd_bench_migrate_seed)
 
     p = sub.add_parser("serve", help="start the web application")
     p.add_argument("--host", default="127.0.0.1")

@@ -3,6 +3,9 @@
 Session-scoped indexes keep the suite fast — the structures are immutable
 after construction, and tests that need instrumentation attach their own
 counter scopes rather than mutating shared state.
+
+Input construction lives in :mod:`repro.bench.fixtures` so tests and
+benchmark workloads build identical inputs from the same seeds.
 """
 
 from __future__ import annotations
@@ -11,15 +14,10 @@ import numpy as np
 import pytest
 
 from repro import build_index
+from repro.bench.fixtures import make_dna, make_repetitive_dna
 from repro.core.counters import OpCounters
-from repro.sequence.alphabet import decode
 
-
-def make_dna(n: int, seed: int = 0, gc: float = 0.5) -> str:
-    rng = np.random.default_rng(seed)
-    at = (1 - gc) / 2
-    gcp = gc / 2
-    return decode(rng.choice(4, size=n, p=[at, gcp, gcp, at]).astype(np.uint8))
+__all__ = ["make_dna"]
 
 
 @pytest.fixture(scope="session")
@@ -31,8 +29,7 @@ def small_text() -> str:
 @pytest.fixture(scope="session")
 def repetitive_text() -> str:
     """DNA with strong repeat structure (low BWT entropy)."""
-    unit = make_dna(100, seed=7)
-    return (unit * 12) + make_dna(400, seed=8) + unit[:50] * 4
+    return make_repetitive_dna(seed=7)
 
 
 @pytest.fixture(scope="session")
