@@ -152,6 +152,11 @@ def _hot_path_suite(scale: str, repetitions: int, warmup: int) -> list[Experimen
         ExperimentConfig(name=f"occ2_fused_{scale}", workload="occ2_fused", **base),
         ExperimentConfig(name=f"pool_mapping_{scale}", workload="pool_mapping",
                          pool_workers=2, **base),
+        # Coalescing ablation pair: same requests, merged vs independent.
+        ExperimentConfig(name=f"coalesced_mapping_{scale}",
+                         workload="coalesced_mapping", **base),
+        ExperimentConfig(name=f"uncoalesced_mapping_{scale}",
+                         workload="uncoalesced_mapping", **base),
     ]
 
 

@@ -38,6 +38,10 @@ HOT_PATHS: tuple[HotPath, ...] = (
     HotPath("flat-container-open", "flat_open", threshold=0.50),
     HotPath("pool-attach", "pool_attach", threshold=0.50),
     HotPath("occ2-fused-kernel", "occ2_fused", threshold=0.25),
+    # The coalesced path merges many small dispatches into one timed
+    # region, so its run-to-run noise sits between the micro kernels and
+    # the container-open paths.
+    HotPath("coalesced-mapping", "coalesced_mapping", threshold=0.30),
 )
 
 

@@ -135,7 +135,47 @@ def run_experiments(
             seed=configs[0].seed if configs else None,
             baseline=as_baseline,
         )
+        _append_coalesce_trajectory(report, configs, bench_json_dir, as_baseline)
     return report
+
+
+def _append_coalesce_trajectory(
+    report: RunReport,
+    configs: list[ExperimentConfig],
+    bench_json_dir: str | Path,
+    as_baseline: bool,
+) -> None:
+    """Emit the ``BENCH_coalesce.json`` series when the run covered the
+    coalescing ablation pair: on/off medians, aggregate reads/sec,
+    speedup, and the p95 added latency of the windowed path."""
+    on = report.steady("coalesced_mapping")
+    off = report.steady("uncoalesced_mapping")
+    if not on or not off:
+        return
+    on_med = report.median_seconds("coalesced_mapping")
+    off_med = report.median_seconds("uncoalesced_mapping")
+    reads = int(on[0].metrics.get("reads", 0))
+    requests = int(on[0].metrics.get("requests", 0))
+    metrics = {
+        "coalesced_median_seconds": on_med,
+        "uncoalesced_median_seconds": off_med,
+        "coalesced_reads_per_second": reads / on_med if on_med > 0 else 0.0,
+        "uncoalesced_reads_per_second": reads / off_med if off_med > 0 else 0.0,
+        "speedup": off_med / on_med if on_med > 0 else 0.0,
+        "wait_p95_ms": float(on[0].metrics.get("wait_p95_ms", 0.0)),
+        "added_wait_p95_ms": float(on[0].metrics.get("added_wait_p95_ms", 0.0)),
+        "requests": requests,
+        "reads": reads,
+    }
+    append_trajectory_point(
+        bench_json_dir,
+        "coalesce",
+        metrics,
+        git_hash=report.git_hash,
+        host=report.host,
+        seed=configs[0].seed if configs else None,
+        baseline=as_baseline,
+    )
 
 
 def _run_one(

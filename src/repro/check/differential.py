@@ -26,6 +26,7 @@ kernel  FPGA functional model vs the CPU mapper (bit-identical)
 flat    flat-container round-trip vs the in-memory index
 pool    ``MapperPool`` workers vs the in-process mapper
 ftab    jump-start-table-primed search vs the stepwise search + scan
+coalesce merged-batch (coalesced) dispatch vs per-request ``map_reads``
 ====== ======================================================
 """
 
@@ -636,8 +637,113 @@ class FtabCheck(TextPatternsCheck):
         return None
 
 
+# -- coalesced dispatch vs independent requests -------------------------------
+
+
+class CoalesceCheck(TextPatternsCheck):
+    """Merged-batch execution vs one ``map_reads`` call per request.
+
+    The coalescer's core promise is that merging is invisible: slicing a
+    shared kernel batch back apart and renumbering must reproduce each
+    request's independent results bit-for-bit — including request-local
+    ``read_id``/``read_name``, invalid (``N``-base) reads, and empty
+    patterns.  A randomized ``max_batch_reads`` exercises the chunk
+    boundaries (requests split across batches, giant lone requests).
+    """
+
+    name = "coalesce"
+    corpus_key = "requests"
+
+    def _corpus(self, rng, profile, text):
+        reads = gen_read_corpus(rng, text, profile.n_reads)
+        requests: list[list[str]] = []
+        i = 0
+        while i < len(reads):
+            take = int(rng.integers(1, 5))
+            requests.append(reads[i : i + take])
+            i += take
+        return requests
+
+    def generate(self, rng, profile):
+        inputs = super().generate(rng, profile)
+        inputs["max_batch_reads"] = int(rng.integers(1, 33))
+        return inputs
+
+    @staticmethod
+    def _full_fingerprint(r: MappingResult) -> tuple:
+        def positions(h):
+            if h.positions is None:
+                return None
+            return tuple(int(p) for p in h.positions)
+
+        return (
+            r.read_id,
+            r.read_name,
+            r.length,
+            _result_fingerprint(r),
+            positions(r.forward),
+            positions(r.reverse),
+        )
+
+    def mismatch(self, inputs):
+        from ..serving.coalescer import CoalescerConfig, RequestCoalescer
+
+        index = _build(inputs)
+        mapper = Mapper(index, locate=True)
+        requests = [list(reads) for reads in inputs["requests"]]
+        independent = [mapper.map_reads(reads) for reads in requests]
+        coalescer = RequestCoalescer(
+            mapper.map_reads,
+            config=CoalescerConfig(
+                max_batch_reads=int(inputs.get("max_batch_reads", 8))
+            ),
+        )
+        merged = coalescer.map_many(requests)
+        if len(merged) != len(independent):
+            return (f"{len(independent)} request results", f"{len(merged)}")
+        for i, (alone, shared) in enumerate(zip(independent, merged)):
+            if len(shared) != len(alone):
+                return (
+                    f"request {i} has {len(alone)} results",
+                    f"{len(shared)}",
+                )
+            for a, b in zip(alone, shared):
+                fa, fb = self._full_fingerprint(a), self._full_fingerprint(b)
+                if fa != fb:
+                    return (
+                        f"request {i} read {a.read_id} "
+                        f"({requests[i][a.read_id]!r}) coalesced == {fa}",
+                        f"{fb}",
+                    )
+        return None
+
+    def shrink(self, inputs):
+        out = dict(inputs)
+
+        def requests_fail(items: list) -> bool:
+            return bool(items) and self._still_fails({**out, "requests": items})
+
+        out["requests"] = shrink_list(list(inputs["requests"]), requests_fail)
+        if len(out["requests"]) == 1:  # drop reads inside the lone request
+
+            def reads_fail(items: list) -> bool:
+                return bool(items) and self._still_fails(
+                    {**out, "requests": [items]}
+                )
+
+            out["requests"] = [
+                shrink_list(list(out["requests"][0]), reads_fail, budget=40)
+            ]
+
+        def text_fails(t: str) -> bool:
+            return bool(t) and self._still_fails({**out, "text": t})
+
+        out["text"] = shrink_string(out["text"], text_fails)
+        return out
+
+
 #: Registry order is load-bearing: it feeds ``rng_for``'s check index.
-#: New checks append at the end (``ftab``), never in the middle.
+#: New checks append at the end (``coalesce``), never in the middle.
 ALL_CHECKS: tuple[Check, ...] = (
     RRRCheck(),
     WaveletCheck(),
@@ -648,6 +754,7 @@ ALL_CHECKS: tuple[Check, ...] = (
     FlatCheck(),
     PoolCheck(),
     FtabCheck(),
+    CoalesceCheck(),
 )
 
 CHECKS_BY_NAME: dict[str, Check] = {c.name: c for c in ALL_CHECKS}

@@ -461,6 +461,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         job_workers=args.pool,
         job_backlog=args.backlog,
+        map_index_fasta=(
+            str(args.map_index) if args.map_index is not None else None
+        ),
+        map_pool_workers=args.map_pool,
+        coalesce=not args.no_coalesce,
+        coalesce_window_ms=args.coalesce_window_ms,
+        coalesce_max_batch=args.coalesce_max_batch,
     )
     return 0  # pragma: no cover - serve() blocks
 
@@ -708,6 +715,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--backlog", type=int, default=8,
         help="queued jobs beyond --pool before submissions get HTTP 503",
+    )
+    g = p.add_argument_group("served index (POST /map)")
+    g.add_argument(
+        "--map-index", type=Path, default=None,
+        help="reference FASTA to preload and serve on POST /map; concurrent "
+        "requests against it are coalesced into shared kernel batches",
+    )
+    g.add_argument(
+        "--map-pool", type=int, default=0,
+        help="worker processes for the served index (0 = in-process mapper)",
+    )
+    g.add_argument(
+        "--coalesce-window-ms", type=float, default=2.0,
+        help="max milliseconds a /map request waits to share a batch",
+    )
+    g.add_argument(
+        "--coalesce-max-batch", type=int, default=512,
+        help="reads per merged batch before an early flush",
+    )
+    g.add_argument(
+        "--no-coalesce", action="store_true",
+        help="dispatch each /map request alone (ablation/debug)",
     )
     p.set_defaults(func=_cmd_serve)
 

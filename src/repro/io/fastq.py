@@ -92,6 +92,29 @@ def parse_fastq(fh: IO[str]) -> Iterator[FastqRecord]:
         )
 
 
+def parse_fastq_chunks(
+    fh: IO[str], chunk_records: int = 2048
+) -> Iterator[list[FastqRecord]]:
+    """Stream records in bounded chunks (lists of ``<= chunk_records``).
+
+    The bounded-memory ingest primitive: a giant (possibly gzipped)
+    FASTQ never materializes — each chunk is parsed, yielded, and
+    dropped, so peak residency is one chunk regardless of file size.
+    Downstream, :func:`repro.mapper.stream.map_stream_coalesced` feeds
+    these chunks to a request coalescer.
+    """
+    if chunk_records < 1:
+        raise FastqError("chunk_records must be >= 1")
+    chunk: list[FastqRecord] = []
+    for rec in parse_fastq(fh):
+        chunk.append(rec)
+        if len(chunk) == chunk_records:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
 def read_fastq(path: str | Path) -> list[FastqRecord]:
     """Read all records from a (possibly gzipped) FASTQ file."""
     with _open_text(path) as fh:

@@ -39,7 +39,10 @@ class StreamSummary:
 
     @property
     def reads_per_second(self) -> float:
-        return self.n_reads / self.wall_seconds if self.wall_seconds > 0 else float("inf")
+        # 0.0 on a zero-duration trial (empty stream, or a clock too
+        # coarse to see it) — "no throughput measured", never inf/NaN,
+        # so trajectory JSON and gate statistics stay finite.
+        return self.n_reads / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
 
 def map_stream(
@@ -111,6 +114,67 @@ def _map_offset(mapper: Mapper, batch: list[str], offset: int) -> list[MappingRe
         )
         for r in results
     ]
+
+
+def map_stream_coalesced(
+    coalescer,
+    reads: Iterable[str],
+    chunk_size: int = 256,
+    max_in_flight: int = 4,
+    tenant: str = "stream",
+    timeout: float | None = 120.0,
+) -> Iterator[list[MappingResult]]:
+    """Stream reads through a :class:`~repro.serving.coalescer.RequestCoalescer`
+    in bounded chunks, yielding globally renumbered result batches.
+
+    The bounded-memory ingest path: at most ``max_in_flight`` chunks are
+    resident at once (submitted but not yet consumed), so a read set far
+    larger than RAM flows through in ``chunk_size`` pieces while still
+    sharing kernel batches with concurrent foreground requests.  Results
+    come back in stream order with stream-global ``read_id``s — the same
+    contract as :func:`map_stream`.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    if max_in_flight < 1:
+        raise ValueError("max_in_flight must be >= 1")
+    tel = get_telemetry()
+    pending: list = []  # (request_handle, global_offset) in stream order
+    offset = 0
+    chunk: list[str] = []
+
+    def _drain_one():
+        req, off = pending.pop(0)
+        results = req.result(timeout=timeout)
+        tel.metrics.counter(
+            "mapper_stream_batches_total", "Batches through the streaming mapper"
+        ).inc()
+        if off == 0:
+            return results
+        return [
+            MappingResult(
+                read_id=r.read_id + off,
+                read_name=f"read{r.read_id + off}",
+                length=r.length,
+                forward=r.forward,
+                reverse=r.reverse,
+                reason=r.reason,
+            )
+            for r in results
+        ]
+
+    for read in reads:
+        chunk.append(read)
+        if len(chunk) == chunk_size:
+            pending.append((coalescer.submit(chunk, tenant=tenant), offset))
+            offset += len(chunk)
+            chunk = []
+            if len(pending) >= max_in_flight:
+                yield _drain_one()
+    if chunk:
+        pending.append((coalescer.submit(chunk, tenant=tenant), offset))
+    while pending:
+        yield _drain_one()
 
 
 def map_fastq_to_tsv(

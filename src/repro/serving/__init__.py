@@ -14,9 +14,22 @@ package provides the serving primitives the flat container
   worker processes that attach to a published index and serve read
   batches from a task queue;
 * :mod:`repro.serving.executor` — :class:`BoundedExecutor`, a bounded
-  thread pool with backlog rejection for web job execution.
+  thread pool with backlog rejection for web job execution;
+* :mod:`repro.serving.coalescer` — :class:`RequestCoalescer`, a
+  deadline-bounded tenant-fair micro-batcher that merges concurrent
+  small requests into shared kernel batches, and
+  :class:`MappingService`, a served index behind one.
 """
 
+from .coalescer import (
+    CoalescedRequest,
+    CoalescerClosed,
+    CoalescerConfig,
+    CoalescerError,
+    CoalescerFull,
+    MappingService,
+    RequestCoalescer,
+)
 from .executor import BacklogFull, BoundedExecutor
 from .pool import MapperPool, PoolBatchOutcome
 from .shared import (
@@ -29,9 +42,16 @@ from .shared import (
 __all__ = [
     "BacklogFull",
     "BoundedExecutor",
+    "CoalescedRequest",
+    "CoalescerClosed",
+    "CoalescerConfig",
+    "CoalescerError",
+    "CoalescerFull",
     "FlatFileBlock",
     "MapperPool",
+    "MappingService",
     "PoolBatchOutcome",
+    "RequestCoalescer",
     "SharedIndexBlock",
     "attach_index",
     "publish_index",

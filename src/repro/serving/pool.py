@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
+import numpy as np
+
 from ..core.counters import CounterScope, OpCounters
 from ..index.fm_index import FMIndex
 from ..mapper.mapper import Mapper
@@ -232,8 +234,20 @@ class MapperPool:
             replies[tid] = payload
         return {tid: replies[tid] for tid in ids}
 
-    def _shard(self, reads: list[str]) -> list[list[str]]:
+    def _shard_scalar(self, reads: list[str]) -> list[list[str]]:
+        """Reference round-robin split (kept for the parity test)."""
         return [reads[i :: self.workers] for i in range(self.workers)]
+
+    def _shard(self, reads: list[str]) -> list[list[str]]:
+        """Round-robin split, vectorized: one numpy take per shard
+        instead of a Python-level strided slice per worker.
+
+        Must stay order-identical to :meth:`_shard_scalar` — the
+        ``map_reads`` demux inverts exactly ``reads[i::workers]``.
+        """
+        arr = np.empty(len(reads), dtype=object)
+        arr[:] = reads
+        return [arr[i :: self.workers].tolist() for i in range(self.workers)]
 
     def run_batch(self, reads: Sequence[str], locate: bool = False) -> PoolBatchOutcome:
         """Map ``reads`` across the pool; aggregate outcome only.

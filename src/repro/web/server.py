@@ -13,6 +13,9 @@ offline, so this is a dependency-free WSGI app with the same surface:
 * ``GET /jobs`` — JSON list of jobs;
 * ``GET /jobs/<id>`` — JSON status with the three-step timing breakdown;
 * ``GET /jobs/<id>/results`` — the hits TSV download;
+* ``POST /map`` — map reads against the server's preloaded index (the
+  coalesced fast path: concurrent requests share merged kernel batches;
+  requires a :class:`~repro.serving.coalescer.MappingService`);
 * ``GET /health`` — liveness probe;
 * ``GET /healthz`` — readiness: device health, queue depth, job counts;
 * ``GET /metrics`` — Prometheus text exposition of the telemetry registry.
@@ -31,6 +34,7 @@ import re
 from typing import Callable, Iterable
 
 from ..faults import FaultPlan, RetryPolicy
+from ..serving.coalescer import CoalescerClosed, CoalescerFull
 from ..serving.executor import BacklogFull
 from ..telemetry import Telemetry, set_telemetry
 from .jobs import JobManager, JobPolicy
@@ -141,6 +145,7 @@ class BWaveRApp:
         telemetry: Telemetry | None = None,
         job_workers: int = 2,
         job_backlog: int = 8,
+        mapping_service=None,
     ):
         if telemetry is None:
             telemetry = Telemetry(enabled=True)
@@ -152,9 +157,14 @@ class BWaveRApp:
             retry_policy=retry_policy,
             job_workers=job_workers,
             job_backlog=job_backlog,
+            mapping_service=mapping_service,
         )
         self.background_jobs = background_jobs
         self.max_body_bytes = int(max_body_bytes)
+
+    @property
+    def mapping_service(self):
+        return self.jobs.mapping_service
 
     # -- WSGI entry ---------------------------------------------------------
 
@@ -202,6 +212,8 @@ class BWaveRApp:
             )
         if method == "POST" and path == "/jobs":
             return self._submit(environ)
+        if method == "POST" and path == "/map":
+            return self._map(environ)
         if method == "GET" and path == "/jobs":
             return self._json(200, {"jobs": [j.summary() for j in self.jobs.all_jobs()]})
         m = re.fullmatch(r"/jobs/(\d+)", path)
@@ -256,6 +268,7 @@ class BWaveRApp:
         counts = self.jobs.counts_by_status()
         device = self.jobs.last_device_health
         degraded = device is not None and device.get("state") == "failed"
+        service = self.mapping_service
         return self._json(
             200,
             {
@@ -265,7 +278,142 @@ class BWaveRApp:
                 "jobs": counts,
                 "concurrency": self.jobs.concurrency(),
                 "device": device,
+                # Coalescer state: queue depth, batch/wait aggregates,
+                # fallback count — None when no index is being served.
+                "coalescer": service.stats() if service is not None else None,
             },
+        )
+
+    def _map(self, environ: dict) -> tuple[str, list, bytes]:
+        """Map reads against the served index through the coalescer.
+
+        JSON body: ``reads`` (list of sequences) or ``reads_fastq``
+        (FASTQ text, optionally ``reads_fastq_gzip_b64``), optional
+        ``tenant`` and ``format`` (``"json"`` default, or ``"tsv"``).
+        FASTQ + TSV requests stream: chunked parse feeds the coalescer
+        in bounded pieces and rows are written per returned batch, so a
+        large read set never materializes as result objects at once.
+        """
+        service = self.mapping_service
+        if service is None:
+            return self._json(
+                404,
+                {
+                    "error": "no served index: start the server with "
+                    "--map-index to enable POST /map"
+                },
+            )
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except ValueError:
+            length = 0
+        if length > self.max_body_bytes:
+            return self._json(
+                413,
+                {
+                    "error": f"request body of {length} B exceeds the "
+                    f"{self.max_body_bytes} B limit"
+                },
+            )
+        body = environ["wsgi.input"].read(length) if length else b""
+        ctype = environ.get("CONTENT_TYPE", "")
+        if not ctype.startswith("application/json"):
+            raise WebAppError("POST /map takes an application/json body")
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except json.JSONDecodeError as exc:
+            raise WebAppError(f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise WebAppError("JSON body must be an object")
+        tenant = str(payload.get("tenant", "default"))
+        fmt = payload.get("format", "json")
+        if fmt not in ("json", "tsv"):
+            raise WebAppError(f"unknown format {fmt!r} (use 'json' or 'tsv')")
+        reads = payload.get("reads")
+        fastq_text = None
+        if reads is None:
+            fastq_text = _maybe_gunzip_b64(payload, "reads_fastq")
+            if fastq_text is None:
+                raise WebAppError("provide 'reads' (list) or 'reads_fastq'")
+        elif not (isinstance(reads, list) and all(isinstance(r, str) for r in reads)):
+            raise WebAppError("'reads' must be a list of strings")
+        try:
+            if fastq_text is not None and fmt == "tsv":
+                return self._map_stream_tsv(service, fastq_text, tenant)
+            if fastq_text is not None:
+                from ..io.fastq import read_fastq_str
+
+                reads = [r.sequence for r in read_fastq_str(fastq_text)]
+            req = service.map_request(reads, tenant=tenant)
+        except CoalescerFull as exc:
+            status, headers, resp = self._json(503, {"error": str(exc)})
+            headers.append(("Retry-After", "1"))
+            return status, headers, resp
+        except CoalescerClosed as exc:
+            return self._json(503, {"error": str(exc)})
+        results = req.result(timeout=0.0)
+        if fmt == "tsv":
+            import io as _io
+
+            from ..mapper.results import write_hits_tsv
+
+            buf = _io.StringIO()
+            write_hits_tsv(results, buf)
+            return (
+                "200 OK",
+                [("Content-Type", "text/tab-separated-values; charset=utf-8")],
+                buf.getvalue().encode(),
+            )
+        return self._json(
+            200,
+            {
+                "n_reads": len(results),
+                "n_mapped": sum(1 for r in results if r.mapped),
+                "tenant": tenant,
+                "degraded": req.degraded,
+                "batch_reads": req.batch_reads,
+                "wait_ms": req.wait_seconds * 1e3,
+                "results": [
+                    {
+                        "read": r.read_name,
+                        "length": r.length,
+                        "mapped": r.mapped,
+                        "fwd_count": r.forward.count,
+                        "rc_count": r.reverse.count,
+                        "reason": r.reason,
+                    }
+                    for r in results
+                ],
+            },
+        )
+
+    def _map_stream_tsv(
+        self, service, fastq_text: str, tenant: str
+    ) -> tuple[str, list, bytes]:
+        """Chunked ingest: FASTQ chunks feed the coalescer as independent
+        requests; TSV rows are emitted per returned batch."""
+        import io as _io
+
+        from ..io.fastq import parse_fastq_chunks
+        from ..mapper.stream import _write_rows, map_stream_coalesced
+
+        def _seqs():
+            for chunk in parse_fastq_chunks(_io.StringIO(fastq_text), 256):
+                for rec in chunk:
+                    yield rec.sequence
+
+        out = _io.StringIO()
+        out.write(
+            "read\tlength\tfwd_count\trc_count\tfwd_positions\trc_positions\n"
+        )
+        for results in map_stream_coalesced(
+            service.coalescer, _seqs(), chunk_size=256, tenant=tenant
+        ):
+            _write_rows(results, out)
+        return (
+            "200 OK",
+            [("Content-Type", "text/tab-separated-values; charset=utf-8")],
+            out.getvalue().encode(),
         )
 
     def _submit(self, environ: dict) -> tuple[str, list, bytes]:
@@ -365,15 +513,63 @@ def serve(
     background_jobs: bool = True,
     job_workers: int = 2,
     job_backlog: int = 8,
+    map_index_fasta: str | None = None,
+    map_pool_workers: int = 0,
+    coalesce: bool = True,
+    coalesce_window_ms: float = 2.0,
+    coalesce_max_batch: int = 512,
 ):
-    """Run the app under wsgiref (blocking); returns never."""
-    from wsgiref.simple_server import make_server
+    """Run the app under a threading wsgiref server (blocking).
 
+    ``map_index_fasta`` preloads a reference and serves it on
+    ``POST /map`` through a request coalescer (window/size bounds from
+    the ``coalesce_*`` knobs, optionally behind a ``map_pool_workers``
+    shared-memory pool).  The server is threaded — concurrency is what
+    gives the coalescer batches to merge.
+    """
+    from socketserver import ThreadingMixIn
+    from wsgiref.simple_server import WSGIServer, make_server
+
+    class _ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
+        daemon_threads = True
+        # The socketserver default accept backlog (5) resets connections
+        # under the exact burst traffic the coalescer exists to absorb.
+        request_queue_size = 128
+
+    mapping_service = None
+    if map_index_fasta is not None:
+        from ..index.builder import build_index
+        from ..io.fasta import read_fasta
+        from ..serving.coalescer import CoalescerConfig, MappingService
+
+        ref = read_fasta(map_index_fasta)[0]
+        index, _report = build_index(ref.sequence)
+        mapping_service = MappingService(
+            index,
+            pool_workers=map_pool_workers,
+            coalesce=coalesce,
+            config=CoalescerConfig(
+                window_seconds=coalesce_window_ms / 1e3,
+                max_batch_reads=coalesce_max_batch,
+            ),
+        )
+        print(
+            f"serving index over {ref.name!r} ({len(ref.sequence)} bp) on "
+            f"POST /map (coalesce={'on' if coalesce else 'off'}, "
+            f"window={coalesce_window_ms}ms, max_batch={coalesce_max_batch}, "
+            f"pool_workers={map_pool_workers})"
+        )
     app = BWaveRApp(
         background_jobs=background_jobs,
         job_workers=job_workers,
         job_backlog=job_backlog,
+        mapping_service=mapping_service,
     )
-    with make_server(host, port, app) as httpd:
+    with make_server(
+        host, port, app, server_class=_ThreadingWSGIServer
+    ) as httpd:
         print(f"BWaveR web app listening on http://{host}:{port}/")
-        httpd.serve_forever()
+        try:
+            httpd.serve_forever()
+        finally:
+            app.jobs.shutdown()

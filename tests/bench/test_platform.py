@@ -486,7 +486,13 @@ class TestLegacyMigration:
             assert store.count() == len(records) == 32
             # A same-magnitude current run gates green against the seed.
             rng = np.random.default_rng(1)
-            for path in HOT_PATHS:
+            # Hot paths added after the legacy era (coalesced-mapping) have
+            # no seed baseline — the gate reports them skipped, not failed.
+            seeded = [
+                p for p in HOT_PATHS
+                if any(r.workload == p.workload for r in records)
+            ]
+            for path in seeded:
                 base = next(r for r in records if r.workload == path.workload)
                 for rep in range(10):
                     store.insert(_record(
@@ -497,7 +503,7 @@ class TestLegacyMigration:
                         created_utc=3000.0 + rep,
                     ))
             report = run_gate(store)
-        assert report.evaluated == len(HOT_PATHS)
+        assert report.evaluated == len(seeded)
         assert report.ok
         # Every comparison leaned on the synthetic cross-host baseline.
         assert all(v.advisory for v in report.verdicts if v.comparison)

@@ -98,3 +98,117 @@ class TestMapFastqToTsv:
         buf = io.StringIO()
         summary = map_fastq_to_tsv(small_index, iter([small_text[:30]] * 5), buf)
         assert summary.reads_per_second > 0
+
+    def test_reads_per_second_zero_duration_is_zero(self):
+        """A zero-duration (or empty) trial reports 0.0 throughput, not
+        inf/NaN — trajectory JSON and gate stats must stay finite."""
+        from repro.mapper.stream import StreamSummary
+
+        assert StreamSummary().reads_per_second == 0.0
+        assert StreamSummary(n_reads=100, wall_seconds=0.0).reads_per_second == 0.0
+        assert StreamSummary(n_reads=100, wall_seconds=-1.0).reads_per_second == 0.0
+        assert StreamSummary(n_reads=10, wall_seconds=2.0).reads_per_second == 5.0
+
+
+class TestCoalescedStream:
+    def test_results_match_plain_stream(self, small_index, small_text):
+        from repro.mapper.mapper import Mapper
+        from repro.mapper.stream import map_stream_coalesced
+        from repro.serving.coalescer import CoalescerConfig, RequestCoalescer
+
+        reads = [small_text[i : i + 24] for i in range(0, 900, 7)]
+        plain = Mapper(small_index, locate=True).map_reads(reads)
+        co = RequestCoalescer(
+            Mapper(small_index, locate=True).map_reads,
+            config=CoalescerConfig(window_seconds=0.002, max_batch_reads=64),
+        )
+        streamed = [
+            r
+            for batch in map_stream_coalesced(
+                co, iter(reads), chunk_size=17, max_in_flight=3
+            )
+            for r in batch
+        ]
+        co.close()
+        assert len(streamed) == len(plain)
+        for a, b in zip(streamed, plain):
+            assert (a.read_id, a.read_name, a.reason) == (
+                b.read_id,
+                b.read_name,
+                b.reason,
+            )
+            assert a.forward.interval == b.forward.interval
+            assert a.reverse.interval == b.reverse.interval
+
+    def test_bounded_memory_ingest(self, small_index, tmp_path):
+        """Streaming FASTQ ingest maps a read set >= 10x larger than the
+        resident budget without materializing it.
+
+        The read set is a real FASTQ file on disk (~4.7 MB); the
+        tracemalloc peak over the whole parse -> coalesce -> map -> drain
+        pipeline — the deterministic stand-in for a peak-RSS probe — must
+        stay under a 450 KiB Python-heap budget.  The budget is sized just
+        above the footprint of one in-flight kernel batch plus one chunk
+        of results (~360 KiB measured), so both materializing the file and
+        accumulating results would blow it.
+        """
+        import tracemalloc
+
+        from repro.bench.fixtures import make_dna
+        from repro.io.fastq import parse_fastq
+        from repro.mapper.mapper import Mapper
+        from repro.mapper.stream import map_stream_coalesced
+        from repro.serving.coalescer import CoalescerConfig, RequestCoalescer
+
+        budget_bytes = 450 * 1024
+        read = make_dna(200, seed=99)
+        n_records = 11_500
+        fastq = tmp_path / "reads.fastq"
+        with fastq.open("w") as fh:
+            qual = "I" * len(read)
+            for i in range(n_records):
+                fh.write(f"@r{i}\n{read}\n+\n{qual}\n")
+        assert fastq.stat().st_size >= 10 * budget_bytes
+
+        mapper = Mapper(small_index, locate=False)
+        mapper.map_reads([read] * 64)  # warm lazy kernel state pre-trace
+        co = RequestCoalescer(
+            mapper.map_reads,
+            config=CoalescerConfig(window_seconds=0.001, max_batch_reads=64),
+        )
+        total = 0
+        with fastq.open() as fh:
+            tracemalloc.start()
+            tracemalloc.reset_peak()
+            seqs = (rec.sequence for rec in parse_fastq(fh))
+            for batch in map_stream_coalesced(
+                co, seqs, chunk_size=32, max_in_flight=2
+            ):
+                total += len(batch)
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+        co.close()
+        assert total == n_records
+        assert peak < budget_bytes, f"peak {peak} B over the {budget_bytes} B budget"
+
+
+class TestChunkedFastqParse:
+    def test_chunks_cover_all_records(self):
+        import io as _io
+
+        from repro.io.fastq import parse_fastq_chunks
+
+        text = "".join(
+            f"@r{i}\nACGTACGT\n+\nIIIIIIII\n" for i in range(10)
+        )
+        chunks = list(parse_fastq_chunks(_io.StringIO(text), chunk_records=3))
+        assert [len(c) for c in chunks] == [3, 3, 3, 1]
+        assert [r.name for c in chunks for r in c] == [f"r{i}" for i in range(10)]
+
+    def test_chunk_records_validated(self):
+        import io as _io
+
+        from repro.io.fastq import FastqError, parse_fastq_chunks
+
+        with pytest.raises(FastqError, match="chunk_records"):
+            list(parse_fastq_chunks(_io.StringIO(""), chunk_records=0))
