@@ -157,6 +157,9 @@ def _hot_path_suite(scale: str, repetitions: int, warmup: int) -> list[Experimen
                          workload="coalesced_mapping", **base),
         ExperimentConfig(name=f"uncoalesced_mapping_{scale}",
                          workload="uncoalesced_mapping", **base),
+        # Sharded fan-out through the router tier (all shards resident).
+        ExperimentConfig(name=f"sharded_mapping_{scale}",
+                         workload="sharded_mapping", **base),
     ]
 
 

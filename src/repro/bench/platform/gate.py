@@ -42,6 +42,9 @@ HOT_PATHS: tuple[HotPath, ...] = (
     # region, so its run-to-run noise sits between the micro kernels and
     # the container-open paths.
     HotPath("coalesced-mapping", "coalesced_mapping", threshold=0.30),
+    # Scatter-gather adds thread fan-out and hit merging on top of the
+    # mapper kernels; its noise floor matches the coalesced path's.
+    HotPath("sharded-mapping", "sharded_mapping", threshold=0.35),
 )
 
 

@@ -136,6 +136,7 @@ def run_experiments(
             baseline=as_baseline,
         )
         _append_coalesce_trajectory(report, configs, bench_json_dir, as_baseline)
+        _append_router_trajectory(report, configs, bench_json_dir, as_baseline)
     return report
 
 
@@ -170,6 +171,41 @@ def _append_coalesce_trajectory(
     append_trajectory_point(
         bench_json_dir,
         "coalesce",
+        metrics,
+        git_hash=report.git_hash,
+        host=report.host,
+        seed=configs[0].seed if configs else None,
+        baseline=as_baseline,
+    )
+
+
+def _append_router_trajectory(
+    report: RunReport,
+    configs: list[ExperimentConfig],
+    bench_json_dir: str | Path,
+    as_baseline: bool,
+) -> None:
+    """Emit the ``BENCH_router.json`` series when the run covered the
+    sharded fan-out workload: median wall, aggregate fan-out throughput,
+    shard count, and the eviction total (non-zero only when the run
+    squeezed the catalog under a memory budget)."""
+    rows = report.steady("sharded_mapping")
+    if not rows:
+        return
+    med = report.median_seconds("sharded_mapping")
+    reads = int(rows[0].metrics.get("reads", 0))
+    metrics = {
+        "sharded_median_seconds": med,
+        "fanout_reads_per_second": reads / med if med > 0 else 0.0,
+        "shards": int(rows[0].metrics.get("shards", 0)),
+        "reads": reads,
+        "mapped": int(rows[0].metrics.get("mapped", 0)),
+        "hits": int(rows[0].metrics.get("hits", 0)),
+        "evictions": int(rows[-1].metrics.get("evictions", 0)),
+    }
+    append_trajectory_point(
+        bench_json_dir,
+        "router",
         metrics,
         git_hash=report.git_hash,
         host=report.host,

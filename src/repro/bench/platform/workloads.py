@@ -358,6 +358,69 @@ class UncoalescedMapping(_ConcurrentRequestBase):
         return self._aux(outs)
 
 
+@register("sharded_mapping")
+class ShardedMapping(Workload):
+    """Scatter-gather fan-out across a shard catalog (the router tier).
+
+    The reference is split into ``n_shards`` contiguous chunks, each
+    indexed into its own flat container and registered with a
+    :class:`~repro.serving.router.ShardCatalog`; the timed operation is
+    one :meth:`~repro.serving.router.ShardRouter.map_reads` batch over
+    reads drawn from every shard.  Default is all shards resident and
+    in-process (the gated hot path); ``memory_budget_mb`` squeezes the
+    catalog into LRU waves and ``shard_workers`` runs each shard behind
+    its own MapperPool.
+    """
+
+    def setup(self, scratch: Path) -> None:
+        from ...index.builder import build_index
+        from ...index.flat import save_index_flat
+        from ...serving.router import ShardCatalog, ShardRouter
+
+        scale, seed = self.config.scale, self.config.seed
+        _, n_reads, read_len, _ = _MAPPING_SCALES[scale]
+        n_shards = int(self.params.get("n_shards", 4))
+        ref = _reference_for(scale, seed)
+        step = max(read_len, len(ref) // n_shards)
+        chunks = [
+            c for c in (ref[i * step : (i + 1) * step] for i in range(n_shards))
+            if len(c) >= read_len
+        ]
+        ratio = float(self.params.get("mapping_ratio", 0.75))
+        per_shard = max(1, n_reads // len(chunks))
+        self.catalog = ShardCatalog(
+            pool_workers=int(self.params.get("shard_workers", 0))
+        )
+        self.reads: list[str] = []
+        for i, chunk in enumerate(chunks):
+            index, _ = build_index(
+                chunk, b=15, sf=50, backend=self.config.backend, locate="full"
+            )
+            path = scratch / f"shard{i}.bwvr"
+            save_index_flat(index, path)
+            self.catalog.register(f"shard{i}", path)
+            self.reads.extend(
+                seeded_reads(chunk, per_shard, read_len, ratio, seed=seed + i)
+            )
+        budget_mb = float(self.params.get("memory_budget_mb", 0.0))
+        if budget_mb:
+            self.catalog.memory_budget_bytes = int(budget_mb * 1024 * 1024)
+        self.router = ShardRouter(self.catalog)
+
+    def run_once(self) -> dict:
+        out = self.router.map_reads(self.reads)
+        return {
+            "reads": len(out),
+            "shards": len(self.catalog),
+            "mapped": sum(1 for m in out if m.mapped),
+            "hits": sum(len(m.hits) for m in out),
+            "evictions": self.catalog.evictions,
+        }
+
+    def teardown(self) -> None:
+        self.catalog.close()
+
+
 @register("fpga_mapping")
 class FpgaMapping(Workload):
     """Simulated accelerator run; ``faults`` param exercises the ladder.

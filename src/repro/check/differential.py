@@ -27,6 +27,7 @@ flat    flat-container round-trip vs the in-memory index
 pool    ``MapperPool`` workers vs the in-process mapper
 ftab    jump-start-table-primed search vs the stepwise search + scan
 coalesce merged-batch (coalesced) dispatch vs per-request ``map_reads``
+router  sharded scatter-gather routing vs the multi-reference index
 ====== ======================================================
 """
 
@@ -45,6 +46,7 @@ from ..core.rrr import RRRVector
 from ..core.wavelet_tree import WaveletTree
 from ..index.builder import build_index
 from ..index.flat import load_index_flat, save_index_flat
+from ..index.multiref import MultiReferenceIndex
 from ..mapper.mapper import Mapper
 from ..mapper.results import REASON_INVALID_BASE, MappingResult
 from ..sequence.alphabet import AlphabetError, encode, is_valid
@@ -742,8 +744,124 @@ class CoalesceCheck(TextPatternsCheck):
         return out
 
 
+# -- sharded routing vs the monolithic multi-reference index ------------------
+
+
+class RouterCheck(Check):
+    """Scatter-gather sharding vs one concatenated multi-reference index.
+
+    The router's core promise: mapping a batch against N per-sequence
+    shards and merging the per-shard strand hits by ``(catalog ordinal,
+    position, strand)`` reproduces what a monolithic
+    :class:`~repro.index.multiref.MultiReferenceIndex` over the same
+    sequences answers, hit for hit.  The concatenated oracle filters
+    boundary-spanning artifacts, so the two constructions are exactly
+    equivalent — any divergence is a merge-ordering, coordinate, or
+    lifecycle bug.  Three passes per round: plain fan-out, a budgeted
+    fan-out squeezed to one-shard waves (forcing LRU eviction between
+    waves), and a coalesced ``map_many`` whose demux must match
+    per-request routing.
+    """
+
+    name = "router"
+    heavy = True  # builds one flat container per sequence plus the oracle
+
+    def generate(self, rng, profile):
+        n_seqs = int(rng.integers(2, 5))
+        sequences = [gen_text(rng, profile) for _ in range(n_seqs)]
+        reads: list[str] = []
+        for seq in sequences:  # every shard gets reads aimed at it
+            reads.extend(gen_read_corpus(rng, seq, max(3, profile.n_reads // n_seqs)))
+        return {
+            "sequences": sequences,
+            "reads": reads,
+            "b": int(rng.choice([5, 15])),
+            "sf": int(rng.choice([4, 8])),
+            "backend": str(rng.choice(["rrr", "occ"])),
+            "max_batch_reads": int(rng.integers(1, 17)),
+        }
+
+    @staticmethod
+    def _fingerprint(mapping) -> tuple:
+        return (
+            mapping.read_id,
+            tuple((h.name, h.position, h.strand) for h in mapping.hits),
+        )
+
+    @staticmethod
+    def _compare(label: str, reads: list, want: list, got: list) -> Mismatch | None:
+        if len(got) != len(want):
+            return (f"{label}: {len(want)} mappings", f"{len(got)}")
+        for i, (a, g) in enumerate(zip(want, got)):
+            if a != g:
+                return (f"{label}: read {i} ({reads[i]!r}) == {a}", f"{g}")
+        return None
+
+    def mismatch(self, inputs):
+        from ..serving.coalescer import CoalescerConfig, RequestCoalescer
+        from ..serving.router import ShardCatalog, ShardRouter
+
+        b = int(inputs.get("b", 15))
+        sf = int(inputs.get("sf", 8))
+        backend = inputs.get("backend", "rrr")
+        records = [(f"seq{i}", str(s)) for i, s in enumerate(inputs["sequences"])]
+        reads = list(inputs["reads"])
+        oracle = MultiReferenceIndex(records, b=b, sf=sf, backend=backend)
+        want = [self._fingerprint(m) for m in oracle.map_reads(reads)]
+        with ShardCatalog() as catalog:
+            for name, seq in records:
+                catalog.register_sequence(name, seq, b=b, sf=sf, backend=backend)
+            router = ShardRouter(catalog)
+            got = [self._fingerprint(m) for m in router.map_reads(reads)]
+            found = self._compare("routed", reads, want, got)
+            if found is not None:
+                return found
+            # Budgeted pass: the tightest budget that still fits each
+            # shard alone forces one-shard waves with evictions between
+            # them — answers must not change.
+            catalog.deactivate_all()
+            catalog.memory_budget_bytes = max(
+                catalog.shard(n).bytes for n in catalog.names
+            )
+            got = [self._fingerprint(m) for m in router.map_reads(reads)]
+            found = self._compare("budgeted", reads, want, got)
+            if found is not None:
+                return found
+            if len(records) > 1 and catalog.evictions == 0:
+                return ("budgeted fan-out evicts between waves", "0 evictions")
+            # Coalesced pass: shared fan-out batches demux back to the
+            # per-request answers bit-for-bit.
+            catalog.memory_budget_bytes = None
+            requests = [reads[i : i + 3] for i in range(0, len(reads), 3)]
+            coalescer = RequestCoalescer(
+                router.map_reads,
+                config=CoalescerConfig(
+                    max_batch_reads=int(inputs.get("max_batch_reads", 8))
+                ),
+            )
+            merged = coalescer.map_many(requests)
+            independent = [router.map_reads(req) for req in requests]
+            if len(merged) != len(independent):
+                return (f"{len(independent)} request results", f"{len(merged)}")
+            for i, (alone, shared) in enumerate(zip(independent, merged)):
+                fa = [self._fingerprint(m) for m in alone]
+                fb = [self._fingerprint(m) for m in shared]
+                if fa != fb:
+                    return (f"coalesced request {i} == independent {fa}", f"{fb}")
+        return None
+
+    def shrink(self, inputs):
+        # Every probe rebuilds one container per sequence plus the
+        # oracle; keep the budget tiny and shrink only the read list.
+        def fails(items: list) -> bool:
+            return bool(items) and self._still_fails({**inputs, "reads": items})
+
+        reads = shrink_list(list(inputs["reads"]), fails, budget=20)
+        return {**inputs, "reads": reads}
+
+
 #: Registry order is load-bearing: it feeds ``rng_for``'s check index.
-#: New checks append at the end (``coalesce``), never in the middle.
+#: New checks append at the end (``router``), never in the middle.
 ALL_CHECKS: tuple[Check, ...] = (
     RRRCheck(),
     WaveletCheck(),
@@ -755,6 +873,7 @@ ALL_CHECKS: tuple[Check, ...] = (
     PoolCheck(),
     FtabCheck(),
     CoalesceCheck(),
+    RouterCheck(),
 )
 
 CHECKS_BY_NAME: dict[str, Check] = {c.name: c for c in ALL_CHECKS}

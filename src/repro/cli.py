@@ -468,6 +468,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         coalesce=not args.no_coalesce,
         coalesce_window_ms=args.coalesce_window_ms,
         coalesce_max_batch=args.coalesce_max_batch,
+        catalog_manifest=(
+            str(args.catalog) if args.catalog is not None else None
+        ),
+        shard_memory_budget_mb=args.shard_memory_budget,
+        shard_workers=args.shard_workers,
     )
     return 0  # pragma: no cover - serve() blocks
 
@@ -737,6 +742,21 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument(
         "--no-coalesce", action="store_true",
         help="dispatch each /map request alone (ablation/debug)",
+    )
+    g = p.add_argument_group("served shard catalog (POST /map?catalog=...)")
+    g.add_argument(
+        "--catalog", type=Path, default=None,
+        help="shard catalog manifest JSON ({'shards': [{'name', 'path'|"
+        "'fasta'}, ...]}) to serve through the scatter-gather router",
+    )
+    g.add_argument(
+        "--shard-memory-budget", type=float, default=None, metavar="MB",
+        help="memory budget for resident shards in MiB; the catalog may "
+        "exceed it — cold shards activate LRU-style on demand",
+    )
+    g.add_argument(
+        "--shard-workers", type=int, default=0,
+        help="worker processes per active shard (0 = in-process mappers)",
     )
     p.set_defaults(func=_cmd_serve)
 

@@ -426,6 +426,7 @@ def load_multiref_index_flat(path: str | Path, counters: OpCounters | None = Non
     lengths = np.asarray(views["seq_lengths"], dtype=np.int64)
     multi = MultiReferenceIndex.__new__(MultiReferenceIndex)
     multi.names = tuple(meta["multiref"]["names"])
+    multi.ordinals = {n: i for i, n in enumerate(multi.names)}
     multi.lengths = lengths
     multi.offsets = np.concatenate(([0], np.cumsum(lengths)))
     multi.index = inner

@@ -138,6 +138,7 @@ def load_multiref_index(path: str | Path, counters=None):
     # Rebuild the wrapper around the loaded inner index without re-indexing.
     multi = MultiReferenceIndex.__new__(MultiReferenceIndex)
     multi.names = tuple(names)
+    multi.ordinals = {n: i for i, n in enumerate(multi.names)}
     multi.lengths = lengths
     multi.offsets = np.concatenate(([0], np.cumsum(lengths)))
     multi.index = inner

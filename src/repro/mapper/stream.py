@@ -163,18 +163,30 @@ def map_stream_coalesced(
             for r in results
         ]
 
-    for read in reads:
-        chunk.append(read)
-        if len(chunk) == chunk_size:
+    try:
+        for read in reads:
+            chunk.append(read)
+            if len(chunk) == chunk_size:
+                pending.append((coalescer.submit(chunk, tenant=tenant), offset))
+                offset += len(chunk)
+                chunk = []
+                if len(pending) >= max_in_flight:
+                    yield _drain_one()
+        if chunk:
             pending.append((coalescer.submit(chunk, tenant=tenant), offset))
-            offset += len(chunk)
-            chunk = []
-            if len(pending) >= max_in_flight:
-                yield _drain_one()
-    if chunk:
-        pending.append((coalescer.submit(chunk, tenant=tenant), offset))
-    while pending:
-        yield _drain_one()
+        while pending:
+            yield _drain_one()
+    finally:
+        # The consumer may abandon the generator mid-stream (early
+        # ``close()``/GeneratorExit, or an error above): consume every
+        # in-flight handle so submitted requests are not leaked into the
+        # coalescer's pending set.
+        while pending:
+            req, _ = pending.pop(0)
+            try:
+                req.result(timeout=timeout)
+            except Exception:
+                pass
 
 
 def map_fastq_to_tsv(

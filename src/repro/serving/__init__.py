@@ -18,7 +18,12 @@ package provides the serving primitives the flat container
 * :mod:`repro.serving.coalescer` — :class:`RequestCoalescer`, a
   deadline-bounded tenant-fair micro-batcher that merges concurrent
   small requests into shared kernel batches, and
-  :class:`MappingService`, a served index behind one.
+  :class:`MappingService`, a served index behind one;
+* :mod:`repro.serving.router` — :class:`ShardCatalog` +
+  :class:`ShardRouter`, the sharded multi-genome tier: N named
+  references, LRU activation under a memory budget, scatter-gather
+  fan-out with stable cross-shard hit ordering, and
+  :class:`RouterMappingService`, a shard catalog behind a coalescer.
 """
 
 from .coalescer import (
@@ -32,6 +37,14 @@ from .coalescer import (
 )
 from .executor import BacklogFull, BoundedExecutor
 from .pool import MapperPool, PoolBatchOutcome
+from .router import (
+    RouterError,
+    RouterMappingService,
+    Shard,
+    ShardCatalog,
+    ShardRouter,
+    UnknownShardError,
+)
 from .shared import (
     FlatFileBlock,
     SharedIndexBlock,
@@ -52,7 +65,13 @@ __all__ = [
     "MappingService",
     "PoolBatchOutcome",
     "RequestCoalescer",
+    "RouterError",
+    "RouterMappingService",
+    "Shard",
+    "ShardCatalog",
+    "ShardRouter",
     "SharedIndexBlock",
+    "UnknownShardError",
     "attach_index",
     "publish_index",
 ]

@@ -39,6 +39,7 @@ to independent execution instead of failing every rider.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from collections import deque
@@ -167,21 +168,31 @@ class CoalescedRequest:
         self._event.set()
 
 
-def _renumber(results: Sequence[MappingResult], offset: int) -> list[MappingResult]:
-    """Slice-local renumbering: what independent execution would produce."""
+def _renumber(results: Sequence, offset: int) -> list:
+    """Slice-local renumbering: what independent execution would produce.
+
+    Handles :class:`MappingResult` (single-index dispatch) and any other
+    frozen result dataclass keyed only by ``read_id`` — e.g. the shard
+    router's :class:`~repro.index.multiref.MultiRefMapping`.
+    """
     if offset == 0:
         return list(results)
-    return [
-        MappingResult(
-            read_id=r.read_id - offset,
-            read_name=f"read{r.read_id - offset}",
-            length=r.length,
-            forward=r.forward,
-            reverse=r.reverse,
-            reason=r.reason,
-        )
-        for r in results
-    ]
+    out: list = []
+    for r in results:
+        if isinstance(r, MappingResult):
+            out.append(
+                MappingResult(
+                    read_id=r.read_id - offset,
+                    read_name=f"read{r.read_id - offset}",
+                    length=r.length,
+                    forward=r.forward,
+                    reverse=r.reverse,
+                    reason=r.reason,
+                )
+            )
+        else:
+            out.append(dataclasses.replace(r, read_id=r.read_id - offset))
+    return out
 
 
 class RequestCoalescer:

@@ -16,6 +16,7 @@ under ``fork`` and ``spawn`` start methods (tests run both).
 
 from __future__ import annotations
 
+import queue as _queue
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -30,8 +31,25 @@ from ..mapper.results import MappingResult
 from ..telemetry import get_telemetry
 from .shared import FlatFileBlock, attach_index, publish_index, release_attachment
 
-_STOP = None
 _READY_TIMEOUT = 120.0
+_LIVENESS_POLL_SECONDS = 0.2
+
+
+class _Stop:
+    """Generation-tagged stop sentinel.
+
+    A bare sentinel (the old ``_STOP = None``) is a restart hazard: if a
+    worker dies before consuming its sentinel, the leftover sentinel sits
+    in ``task_q`` and immediately kills one of the freshly spawned
+    workers, leaving the pool silently under-provisioned.  Tagging the
+    sentinel with the worker cohort's generation lets a new cohort skip
+    sentinels addressed to a previous one.
+    """
+
+    __slots__ = ("generation",)
+
+    def __init__(self, generation: int):
+        self.generation = generation
 
 
 @dataclass
@@ -49,13 +67,14 @@ class PoolBatchOutcome:
         return self.mapped / self.n_reads if self.n_reads else 0.0
 
 
-def _pool_worker(worker_id: int, spec: dict, task_q, result_q) -> None:
+def _pool_worker(worker_id: int, generation: int, spec: dict, task_q, result_q) -> None:
     """Worker loop: attach once, then serve tasks until the stop sentinel.
 
     Tasks: ``(task_id, reads, locate, ship_results)``.  Replies:
     ``("ready", worker_id, attach_seconds, None)`` once at startup, then
     ``("done", task_id, payload, None)`` or
-    ``("error", task_id, None, message)`` per task.
+    ``("error", task_id, None, message)`` per task.  Stop sentinels from
+    an older generation are dropped, not obeyed.
     """
     handle = None
     try:
@@ -69,8 +88,10 @@ def _pool_worker(worker_id: int, spec: dict, task_q, result_q) -> None:
     try:
         while True:
             task = task_q.get()
-            if task is _STOP:
-                break
+            if isinstance(task, _Stop):
+                if task.generation >= generation:
+                    break
+                continue  # stale sentinel addressed to a dead cohort
             task_id, reads, locate, ship_results = task
             try:
                 mapper = Mapper(index, locate=locate)
@@ -136,6 +157,7 @@ class MapperPool:
         self._result_q = self._ctx.Queue()
         self._procs: list = []
         self._next_task = 0
+        self._generation = 0
         self._closed = False
         self.attach_seconds: list[float] = []
         try:
@@ -153,7 +175,7 @@ class MapperPool:
         for wid in range(self.workers):
             p = self._ctx.Process(
                 target=_pool_worker,
-                args=(wid, spec, self._task_q, self._result_q),
+                args=(wid, self._generation, spec, self._task_q, self._result_q),
                 daemon=True,
             )
             p.start()
@@ -164,7 +186,7 @@ class MapperPool:
             "Per-worker wall seconds to attach to the published index",
         )
         while ready < self.workers:
-            kind, wid, attach_s, err = self._result_q.get(timeout=_READY_TIMEOUT)
+            kind, wid, attach_s, err = self._get_reply()
             if kind != "ready":  # pragma: no cover - protocol violation
                 raise RuntimeError(f"unexpected startup message {kind!r}")
             if err is not None:
@@ -178,15 +200,30 @@ class MapperPool:
         ).set(len(self._procs))
 
     def restart(self) -> None:
-        """Stop the workers and respawn against the same published index."""
+        """Stop the workers and respawn against the same published index.
+
+        The new cohort gets a higher generation, so any stop sentinel
+        left in ``task_q`` by a worker that died before consuming it is
+        skipped instead of killing a fresh worker.
+        """
         self._stop_workers()
+        self._generation += 1
+        # Recreate both queues: a worker killed mid-``get()`` can die
+        # holding the queue's reader lock (poisoning it for the next
+        # cohort), and dead workers strand unserved tasks and stop
+        # sentinels in the old queue.  Fresh queues shed all of that;
+        # the generation tag covers any sentinel still in flight.
+        self._task_q.close()
+        self._result_q.close()
+        self._task_q = self._ctx.Queue()
+        self._result_q = self._ctx.Queue()
         self._procs = []
         self.attach_seconds = []
         self._spawn_workers()
 
     def _stop_workers(self) -> None:
         for _ in self._procs:
-            self._task_q.put(_STOP)
+            self._task_q.put(_Stop(self._generation))
         deadline = time.monotonic() + 30.0
         for p in self._procs:
             p.join(timeout=max(0.1, deadline - time.monotonic()))
@@ -219,6 +256,49 @@ class MapperPool:
 
     # -- serving -----------------------------------------------------------
 
+    def _get_reply(self, timeout: float = _READY_TIMEOUT) -> tuple:
+        """Read one reply, polling child liveness while waiting.
+
+        A crashed worker never posts an ``"error"`` reply; without the
+        liveness poll the caller would block for the full ``timeout`` and
+        then surface a bare ``queue.Empty``.  Instead, raise a
+        descriptive ``RuntimeError`` within one poll interval of the
+        death — the router's per-shard health checks build on this.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            try:
+                return self._result_q.get(
+                    timeout=max(0.01, min(_LIVENESS_POLL_SECONDS, remaining))
+                )
+            except _queue.Empty:
+                dead = [
+                    (i, p.exitcode)
+                    for i, p in enumerate(self._procs)
+                    if not p.is_alive()
+                ]
+                if dead:
+                    # A worker that replied and then exited may still have
+                    # its reply in flight through the queue feeder thread;
+                    # give it one short grace read before declaring death.
+                    try:
+                        return self._result_q.get(timeout=0.25)
+                    except _queue.Empty:
+                        pass
+                    detail = ", ".join(
+                        f"worker {i} (exitcode {code})" for i, code in dead
+                    )
+                    raise RuntimeError(
+                        f"pool worker(s) died while a reply was outstanding: "
+                        f"{detail}; restart() the pool to recover"
+                    ) from None
+                if remaining <= 0:
+                    raise RuntimeError(
+                        f"pool reply timed out after {timeout:.0f}s with all "
+                        f"{len(self._procs)} workers alive"
+                    ) from None
+
     def _submit(self, shards: list[list[str]], locate: bool, ship: bool) -> dict:
         ids = []
         for shard in shards:
@@ -227,11 +307,15 @@ class MapperPool:
             self._task_q.put((tid, shard, locate, ship))
             ids.append(tid)
         replies: dict[int, tuple] = {}
-        while len(replies) < len(ids):
-            kind, tid, payload, err = self._result_q.get(timeout=_READY_TIMEOUT)
+        pending = set(ids)
+        while pending:
+            kind, tid, payload, err = self._get_reply()
+            if tid not in pending:
+                continue  # orphan reply for a task abandoned by restart()
             if kind == "error":
                 raise RuntimeError(f"pool task {tid} failed: {err}")
             replies[tid] = payload
+            pending.discard(tid)
         return {tid: replies[tid] for tid in ids}
 
     def _shard_scalar(self, reads: list[str]) -> list[list[str]]:
@@ -296,8 +380,13 @@ class MapperPool:
         shards = self._shard(reads)
         replies = self._submit(shards, locate, ship=True)
         out: list[MappingResult | None] = [None] * len(reads)
-        for shard_idx, payload in enumerate(replies.values()):
+        for shard_idx, (shard, payload) in enumerate(zip(shards, replies.values())):
             _, _, results = payload
+            if len(results) != len(shard):
+                raise RuntimeError(
+                    f"pool shard {shard_idx} returned {len(results)} results "
+                    f"for {len(shard)} reads"
+                )
             for j, res in enumerate(results):
                 orig = shard_idx + j * self.workers  # inverse of reads[i::workers]
                 out[orig] = MappingResult(
@@ -308,10 +397,36 @@ class MapperPool:
                     reverse=res.reverse,
                     reason=res.reason,
                 )
+        missing = [i for i, r in enumerate(out) if r is None]
+        if missing:
+            # Never silently truncate: a shorter result list desyncs every
+            # downstream read_id-based demux (coalescer, router, web tier).
+            raise RuntimeError(
+                f"pool returned {len(reads) - len(missing)} results for "
+                f"{len(reads)} reads; missing read indices {missing[:8]}"
+            )
         get_telemetry().metrics.counter(
             "mapper_pool_tasks_total", "Read batches served by mapper pools"
         ).inc()
-        return [r for r in out if r is not None]
+        return out
+
+    # -- introspection -----------------------------------------------------
+
+    def health(self) -> dict:
+        """Liveness/backpressure snapshot (feeds per-shard ``/healthz``)."""
+        alive = sum(1 for p in self._procs if p.is_alive())
+        try:
+            depth = self._task_q.qsize()
+        except (NotImplementedError, OSError, ValueError):
+            depth = None  # macOS (no sem_getvalue) or closed queue
+        return {
+            "workers": self.workers,
+            "workers_alive": alive,
+            "queue_depth": depth,
+            "generation": self._generation,
+            "start_method": self.start_method,
+            "closed": self._closed,
+        }
 
     def __repr__(self) -> str:
         return (

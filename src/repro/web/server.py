@@ -146,6 +146,7 @@ class BWaveRApp:
         job_workers: int = 2,
         job_backlog: int = 8,
         mapping_service=None,
+        router_service=None,
     ):
         if telemetry is None:
             telemetry = Telemetry(enabled=True)
@@ -159,6 +160,9 @@ class BWaveRApp:
             job_backlog=job_backlog,
             mapping_service=mapping_service,
         )
+        #: Sharded multi-genome tier (``POST /map?catalog=...``): a
+        #: :class:`~repro.serving.router.RouterMappingService` or None.
+        self.router_service = router_service
         self.background_jobs = background_jobs
         self.max_body_bytes = int(max_body_bytes)
 
@@ -281,6 +285,14 @@ class BWaveRApp:
                 # Coalescer state: queue depth, batch/wait aggregates,
                 # fallback count — None when no index is being served.
                 "coalescer": service.stats() if service is not None else None,
+                # Shard catalog state: per-shard lifecycle, worker
+                # liveness, queue depth, degraded flags, LRU counters —
+                # None when no catalog is being served.
+                "shards": (
+                    self.router_service.stats()
+                    if self.router_service is not None
+                    else None
+                ),
             },
         )
 
@@ -293,7 +305,20 @@ class BWaveRApp:
         FASTQ + TSV requests stream: chunked parse feeds the coalescer
         in bounded pieces and rows are written per returned batch, so a
         large read set never materializes as result objects at once.
+
+        With a ``?catalog`` query parameter the request routes through
+        the sharded multi-genome tier instead: ``?catalog`` (or
+        ``?catalog=all``) fans out across every shard, ``?catalog=a,b``
+        restricts to the named shards; results carry per-reference hits.
         """
+        from urllib.parse import parse_qs
+
+        query = parse_qs(
+            environ.get("QUERY_STRING", ""), keep_blank_values=True
+        )
+        catalog_q = query.get("catalog")
+        if catalog_q is not None:
+            return self._map_catalog(environ, catalog_q[0])
         service = self.mapping_service
         if service is None:
             return self._json(
@@ -416,6 +441,94 @@ class BWaveRApp:
             out.getvalue().encode(),
         )
 
+    def _map_catalog(self, environ: dict, catalog_arg: str) -> tuple[str, list, bytes]:
+        """``POST /map?catalog=...``: scatter-gather across the shard
+        catalog, returning per-reference hits per read."""
+        from ..serving.router import UnknownShardError
+
+        service = self.router_service
+        if service is None:
+            return self._json(
+                404,
+                {
+                    "error": "no served catalog: start the server with "
+                    "--catalog to enable POST /map?catalog=..."
+                },
+            )
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except ValueError:
+            length = 0
+        if length > self.max_body_bytes:
+            return self._json(
+                413,
+                {
+                    "error": f"request body of {length} B exceeds the "
+                    f"{self.max_body_bytes} B limit"
+                },
+            )
+        body = environ["wsgi.input"].read(length) if length else b""
+        if not environ.get("CONTENT_TYPE", "").startswith("application/json"):
+            raise WebAppError("POST /map takes an application/json body")
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except json.JSONDecodeError as exc:
+            raise WebAppError(f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise WebAppError("JSON body must be an object")
+        tenant = str(payload.get("tenant", "default"))
+        reads = payload.get("reads")
+        if reads is None:
+            fastq_text = _maybe_gunzip_b64(payload, "reads_fastq")
+            if fastq_text is None:
+                raise WebAppError("provide 'reads' (list) or 'reads_fastq'")
+            from ..io.fastq import read_fastq_str
+
+            reads = [r.sequence for r in read_fastq_str(fastq_text)]
+        elif not (isinstance(reads, list) and all(isinstance(r, str) for r in reads)):
+            raise WebAppError("'reads' must be a list of strings")
+        shards = None
+        if catalog_arg and catalog_arg != "all":
+            shards = [s for s in catalog_arg.split(",") if s]
+        try:
+            req = service.map_request(reads, tenant=tenant, shards=shards)
+        except UnknownShardError as exc:
+            raise WebAppError(f"unknown shard {exc.args[0]!r}") from exc
+        except CoalescerFull as exc:
+            status, headers, resp = self._json(503, {"error": str(exc)})
+            headers.append(("Retry-After", "1"))
+            return status, headers, resp
+        except CoalescerClosed as exc:
+            return self._json(503, {"error": str(exc)})
+        mappings = req.result(timeout=0.0)
+        return self._json(
+            200,
+            {
+                "n_reads": len(mappings),
+                "n_mapped": sum(1 for m in mappings if m.mapped),
+                "tenant": tenant,
+                "shards": list(shards) if shards else list(service.router.catalog.names),
+                "degraded": req.degraded,
+                "batch_reads": req.batch_reads,
+                "wait_ms": req.wait_seconds * 1e3,
+                "results": [
+                    {
+                        "read": f"read{m.read_id}",
+                        "n_hits": len(m.hits),
+                        "hits": [
+                            {
+                                "ref": h.name,
+                                "position": h.position,
+                                "strand": h.strand,
+                            }
+                            for h in m.hits
+                        ],
+                    }
+                    for m in mappings
+                ],
+            },
+        )
+
     def _submit(self, environ: dict) -> tuple[str, list, bytes]:
         try:
             length = int(environ.get("CONTENT_LENGTH") or 0)
@@ -518,6 +631,9 @@ def serve(
     coalesce: bool = True,
     coalesce_window_ms: float = 2.0,
     coalesce_max_batch: int = 512,
+    catalog_manifest: str | None = None,
+    shard_memory_budget_mb: float | None = None,
+    shard_workers: int = 0,
 ):
     """Run the app under a threading wsgiref server (blocking).
 
@@ -526,6 +642,12 @@ def serve(
     the ``coalesce_*`` knobs, optionally behind a ``map_pool_workers``
     shared-memory pool).  The server is threaded — concurrency is what
     gives the coalescer batches to merge.
+
+    ``catalog_manifest`` loads a shard catalog manifest and serves it on
+    ``POST /map?catalog=...`` through a scatter-gather router;
+    ``shard_memory_budget_mb`` bounds resident shard bytes (LRU
+    activation) and ``shard_workers`` gives each active shard its own
+    worker pool.
     """
     from socketserver import ThreadingMixIn
     from wsgiref.simple_server import WSGIServer, make_server
@@ -559,11 +681,45 @@ def serve(
             f"window={coalesce_window_ms}ms, max_batch={coalesce_max_batch}, "
             f"pool_workers={map_pool_workers})"
         )
+    router_service = None
+    if catalog_manifest is not None:
+        from ..serving.coalescer import CoalescerConfig
+        from ..serving.router import (
+            RouterMappingService,
+            ShardCatalog,
+            ShardRouter,
+        )
+
+        budget = (
+            int(shard_memory_budget_mb * 1024 * 1024)
+            if shard_memory_budget_mb is not None
+            else None
+        )
+        catalog = ShardCatalog.from_manifest(
+            catalog_manifest,
+            memory_budget_bytes=budget,
+            pool_workers=shard_workers,
+        )
+        router_service = RouterMappingService(
+            ShardRouter(catalog),
+            coalesce=coalesce,
+            config=CoalescerConfig(
+                window_seconds=coalesce_window_ms / 1e3,
+                max_batch_reads=coalesce_max_batch,
+            ),
+        )
+        print(
+            f"serving catalog of {len(catalog)} shard(s) "
+            f"{list(catalog.names)} on POST /map?catalog=... "
+            f"(budget={'none' if budget is None else f'{budget} B'}, "
+            f"shard_workers={shard_workers})"
+        )
     app = BWaveRApp(
         background_jobs=background_jobs,
         job_workers=job_workers,
         job_backlog=job_backlog,
         mapping_service=mapping_service,
+        router_service=router_service,
     )
     with make_server(
         host, port, app, server_class=_ThreadingWSGIServer
@@ -573,3 +729,5 @@ def serve(
             httpd.serve_forever()
         finally:
             app.jobs.shutdown()
+            if router_service is not None:
+                router_service.close()

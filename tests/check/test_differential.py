@@ -20,7 +20,7 @@ class TestRegistry:
         # change every reproduction recipe in the corpus.
         assert [c.name for c in ALL_CHECKS] == [
             "rrr", "wavelet", "fm", "batch", "mapper", "kernel", "flat", "pool",
-            "ftab", "coalesce",
+            "ftab", "coalesce", "router",
         ]
 
     def test_get_check_unknown(self):

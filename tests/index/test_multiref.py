@@ -107,6 +107,41 @@ class TestQueries:
         assert out[0].mapped and not out[1].mapped
 
 
+class TestManySequenceOrdering:
+    """Hit ordering follows registration order, not name order, and the
+    sort uses the precomputed ordinal table (regression: O(S) name scans
+    per hit made map_read quadratic in the sequence count)."""
+
+    @pytest.fixture(scope="class")
+    def wide_index(self):
+        # Names deliberately registered in an order that disagrees with
+        # lexical sorting, each sequence carrying one shared motif.
+        motif = "ACGTTGCAACGTTGCA"
+        records = []
+        for i in range(24, 0, -1):  # "seq24", "seq23", ..., "seq1"
+            filler = make_seq(40, seed=100 + i)
+            records.append((f"seq{i}", filler + motif + filler))
+        return MultiReferenceIndex(records, b=15, sf=4), motif
+
+    def test_ordinals_match_registration(self, wide_index):
+        index, _ = wide_index
+        assert index.ordinals == {n: i for i, n in enumerate(index.names)}
+        assert index.names[0] == "seq24"
+
+    def test_hits_sorted_by_registration_ordinal(self, wide_index):
+        index, motif = wide_index
+        mapping = index.map_read(motif)
+        assert len(mapping.hits) >= 24
+        keys = [
+            (index.ordinals[h.name], h.position, h.strand) for h in mapping.hits
+        ]
+        assert keys == sorted(keys)
+        # First hit belongs to the first-registered sequence ("seq24"),
+        # which sorts last lexically — ordering is registration order.
+        assert mapping.hits[0].name == "seq24"
+        assert mapping.hits[-1].name == "seq1"
+
+
 class TestSamHeader:
     def test_sq_lines(self, index, refs):
         header = index.sam_header()

@@ -140,6 +140,38 @@ class TestCoalescedStream:
             assert a.forward.interval == b.forward.interval
             assert a.reverse.interval == b.reverse.interval
 
+    def test_early_close_drains_in_flight(self, small_index, small_text):
+        """Abandoning the generator must not leak submitted requests into
+        the coalescer's pending set (regression: missing try/finally)."""
+        from repro.mapper.mapper import Mapper
+        from repro.serving.coalescer import CoalescerConfig, RequestCoalescer
+        from repro.mapper.stream import map_stream_coalesced
+
+        reads = [small_text[i : i + 24] for i in range(0, 600, 5)]
+        co = RequestCoalescer(
+            Mapper(small_index, locate=False).map_reads,
+            config=CoalescerConfig(window_seconds=0.002, max_batch_reads=64),
+        )
+        handles = []
+        real_submit = co.submit
+
+        def tracking_submit(chunk, tenant="stream"):
+            h = real_submit(chunk, tenant=tenant)
+            handles.append(h)
+            return h
+
+        co.submit = tracking_submit
+        gen = map_stream_coalesced(co, iter(reads), chunk_size=8, max_in_flight=4)
+        next(gen)  # several chunks now in flight
+        assert len(handles) >= 2
+        gen.close()  # GeneratorExit inside the loop
+        try:
+            assert all(h.done() for h in handles)
+            assert co.pending_reads() == 0
+        finally:
+            co.submit = real_submit
+            co.close()
+
     def test_bounded_memory_ingest(self, small_index, tmp_path):
         """Streaming FASTQ ingest maps a read set >= 10x larger than the
         resident budget without materializing it.

@@ -138,3 +138,89 @@ class TestLifecycle:
         pool.run_batch(reads)
         pool.close()
         assert not glob.glob(path)
+
+    def test_health_snapshot(self, pool_index):
+        with MapperPool(pool_index, workers=2) as pool:
+            doc = pool.health()
+            assert doc["workers"] == 2
+            assert doc["workers_alive"] == 2
+            assert doc["generation"] == 0
+            assert doc["closed"] is False
+        assert pool.health()["closed"] is True
+
+
+def _kill_worker(pool, idx=0):
+    """SIGKILL one worker and wait for the process table to notice."""
+    import os
+    import signal
+    import time
+
+    victim = pool._procs[idx]
+    os.kill(victim.pid, signal.SIGKILL)
+    deadline = time.monotonic() + 10.0
+    while victim.is_alive() and time.monotonic() < deadline:
+        time.sleep(0.02)
+    assert not victim.is_alive()
+
+
+class TestFailureRecovery:
+    """Regression tests for the pool-lifecycle bug sweep."""
+
+    def test_restart_after_worker_kill_restores_full_pool(self, pool_index, reads):
+        """A stale stop sentinel from a dead worker must not kill a
+        freshly spawned worker (generation-tagged sentinels)."""
+        import time
+
+        with MapperPool(pool_index, workers=2) as pool:
+            _kill_worker(pool)
+            pool.restart()
+            assert len(pool._procs) == 2
+            outcome = pool.run_batch(reads)
+            assert outcome.n_reads == len(reads)
+            # Give a sentinel victim (the old bug) time to exit, then
+            # check the cohort is still fully provisioned.
+            time.sleep(0.5)
+            assert pool.health()["workers_alive"] == 2
+            again = pool.run_batch(reads)
+            assert again.mapped == outcome.mapped
+
+    def test_dead_worker_fails_fast_with_context(self, pool_index, reads):
+        """A crashed worker surfaces a descriptive RuntimeError within a
+        liveness-poll interval, not a bare queue.Empty after 120 s."""
+        import time
+
+        with MapperPool(pool_index, workers=1) as pool:
+            _kill_worker(pool)
+            t0 = time.monotonic()
+            with pytest.raises(RuntimeError, match="died"):
+                pool.map_reads(reads[:4])
+            assert time.monotonic() - t0 < 10.0
+            pool.restart()
+            assert pool.run_batch(reads).n_reads == len(reads)
+
+    def test_truncated_shard_results_raise(self, pool_index, reads, monkeypatch):
+        """A shard shipping fewer results than reads raises instead of
+        silently returning a shorter list."""
+        with MapperPool(pool_index, workers=2) as pool:
+            real = pool._submit
+
+            def lossy(shards, locate, ship):
+                replies = real(shards, locate, ship)
+                tid = next(iter(replies))
+                mapped, delta, results = replies[tid]
+                replies[tid] = (mapped, delta, results[:-1])
+                return replies
+
+            monkeypatch.setattr(pool, "_submit", lossy)
+            with pytest.raises(RuntimeError, match="results for"):
+                pool.map_reads(reads, locate=True)
+
+
+class TestSpawnFailureRecovery:
+    def test_restart_after_worker_kill_spawn(self, pool_index, reads):
+        with MapperPool(pool_index, workers=2, start_method="spawn") as pool:
+            _kill_worker(pool)
+            pool.restart()
+            outcome = pool.run_batch(reads)
+            assert outcome.n_reads == len(reads)
+            assert pool.health()["workers_alive"] == 2

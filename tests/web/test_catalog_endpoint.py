@@ -1,0 +1,146 @@
+"""``POST /map?catalog=...``: the sharded multi-genome endpoint.
+
+Covers routing (404 without a served catalog), full-catalog fan-out,
+shard-subset selection, unknown-shard errors, and the ``/healthz``
+per-shard state block.
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.index.multiref import MultiReferenceIndex
+from repro.serving.router import RouterMappingService, ShardCatalog, ShardRouter
+from repro.web.server import BWaveRApp
+
+
+def make_seq(n, seed):
+    rng = np.random.default_rng(seed)
+    return "".join("ACGT"[c] for c in rng.integers(0, 4, n))
+
+
+RECORDS = [("refB", make_seq(500, 5)), ("refA", make_seq(300, 6))]
+READS = [RECORDS[0][1][40:70], RECORDS[1][1][10:40], "ACGTNNACGT"]
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return MultiReferenceIndex(RECORDS, b=15, sf=4)
+
+
+@pytest.fixture()
+def router_service():
+    catalog = ShardCatalog()
+    for name, seq in RECORDS:
+        catalog.register_sequence(name, seq, b=15, sf=4)
+    svc = RouterMappingService(ShardRouter(catalog))
+    yield svc
+    svc.close()
+
+
+@pytest.fixture()
+def app(router_service):
+    a = BWaveRApp(router_service=router_service)
+    yield a
+    a.jobs.shutdown()
+
+
+def call(app, method, path, body=b"", ctype="", query=""):
+    captured = {}
+
+    def start_response(status, headers):
+        captured["status"] = status
+        captured["headers"] = dict(headers)
+
+    env = {
+        "REQUEST_METHOD": method,
+        "PATH_INFO": path,
+        "QUERY_STRING": query,
+        "CONTENT_LENGTH": str(len(body)),
+        "CONTENT_TYPE": ctype,
+        "wsgi.input": io.BytesIO(body),
+    }
+    payload = b"".join(app(env, start_response))
+    return captured["status"], captured["headers"], payload
+
+
+def post_map(app, doc, query="catalog"):
+    return call(
+        app, "POST", "/map", json.dumps(doc).encode(), "application/json", query
+    )
+
+
+class TestCatalogRouting:
+    def test_404_without_served_catalog(self):
+        app = BWaveRApp()
+        try:
+            status, _, body = post_map(app, {"reads": READS})
+            assert status.startswith("404")
+            assert b"--catalog" in body
+        finally:
+            app.jobs.shutdown()
+
+    def test_full_fanout_matches_oracle(self, app, oracle):
+        status, _, body = post_map(app, {"reads": READS})
+        assert status.startswith("200")
+        doc = json.loads(body)
+        assert doc["n_reads"] == len(READS)
+        assert doc["shards"] == ["refB", "refA"]
+        want = oracle.map_reads(READS)
+        for row, mapping in zip(doc["results"], want):
+            assert row["n_hits"] == len(mapping.hits)
+            assert row["hits"] == [
+                {"ref": h.name, "position": h.position, "strand": h.strand}
+                for h in mapping.hits
+            ]
+
+    def test_shard_subset(self, app):
+        status, _, body = post_map(app, {"reads": READS}, query="catalog=refA")
+        assert status.startswith("200")
+        doc = json.loads(body)
+        assert doc["shards"] == ["refA"]
+        assert all(
+            h["ref"] == "refA" for row in doc["results"] for h in row["hits"]
+        )
+
+    def test_unknown_shard_400(self, app):
+        status, _, body = post_map(app, {"reads": READS}, query="catalog=nope")
+        assert status.startswith("400")
+        assert b"nope" in body
+
+    def test_requires_reads(self, app):
+        status, _, _ = post_map(app, {"tenant": "t"})
+        assert status.startswith("400")
+
+    def test_fastq_body(self, app, oracle):
+        fastq = "".join(
+            f"@r{i}\n{seq}\n+\n{'I' * len(seq)}\n"
+            for i, seq in enumerate(READS)
+            if seq  # FASTQ cannot carry empty sequences
+        )
+        status, _, body = post_map(app, {"reads_fastq": fastq})
+        assert status.startswith("200")
+        doc = json.loads(body)
+        assert doc["n_reads"] == len(READS)
+
+    def test_healthz_shards_block(self, app):
+        post_map(app, {"reads": READS})
+        status, _, body = call(app, "GET", "/healthz")
+        assert status.startswith("200")
+        doc = json.loads(body)
+        shards = doc["shards"]
+        assert shards["n_shards"] == 2
+        assert [s["name"] for s in shards["shards"]] == ["refB", "refA"]
+        assert all(s["state"] == "active" for s in shards["shards"])
+        assert shards["degraded"] is False
+        assert "coalescer" in shards
+
+    def test_healthz_without_catalog(self):
+        app = BWaveRApp()
+        try:
+            _, _, body = call(app, "GET", "/healthz")
+            assert json.loads(body)["shards"] is None
+        finally:
+            app.jobs.shutdown()
