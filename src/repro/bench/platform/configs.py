@@ -160,6 +160,12 @@ def _hot_path_suite(scale: str, repetitions: int, warmup: int) -> list[Experimen
         # Sharded fan-out through the router tier (all shards resident).
         ExperimentConfig(name=f"sharded_mapping_{scale}",
                          workload="sharded_mapping", **base),
+        # Out-of-core build: whole cold builds per trial, so cap the reps
+        # regardless of what the micro paths use.
+        ExperimentConfig(name=f"blockwise_build_{scale}",
+                         workload="blockwise_build",
+                         **{**base, "repetitions": min(repetitions, 5),
+                            "warmup": min(warmup, 1)}),
     ]
 
 
@@ -175,6 +181,15 @@ BUILTIN_SUITES: dict[str, list[ExperimentConfig]] = {
     "tiny": [
         c for c in _hot_path_suite("tiny", repetitions=3, warmup=1)
         if c.pool_workers == 0
+    ],
+    # Nightly out-of-core build at the bench scale: each rep is a whole
+    # cold blockwise build, so a few reps dominate the job's wall clock.
+    # Feeds the ``BENCH_build.json`` trajectory at a scale the smoke
+    # suite is too small to exercise meaningfully.
+    "build": [
+        ExperimentConfig(name="blockwise_build_nightly",
+                         workload="blockwise_build", scale="medium",
+                         repetitions=3, warmup=1),
     ],
 }
 

@@ -45,6 +45,10 @@ HOT_PATHS: tuple[HotPath, ...] = (
     # Scatter-gather adds thread fan-out and hit merging on top of the
     # mapper kernels; its noise floor matches the coalesced path's.
     HotPath("sharded-mapping", "sharded_mapping", threshold=0.35),
+    # Whole-pipeline out-of-core build: seconds per cold blockwise build
+    # of the scaled chr21 profile.  Few reps (builds are long), so the
+    # bar sits at the wide end.
+    HotPath("blockwise-build", "blockwise_build", threshold=0.35),
 )
 
 

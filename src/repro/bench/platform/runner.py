@@ -137,6 +137,7 @@ def run_experiments(
         )
         _append_coalesce_trajectory(report, configs, bench_json_dir, as_baseline)
         _append_router_trajectory(report, configs, bench_json_dir, as_baseline)
+        _append_build_trajectory(report, configs, bench_json_dir, as_baseline)
     return report
 
 
@@ -206,6 +207,42 @@ def _append_router_trajectory(
     append_trajectory_point(
         bench_json_dir,
         "router",
+        metrics,
+        git_hash=report.git_hash,
+        host=report.host,
+        seed=configs[0].seed if configs else None,
+        baseline=as_baseline,
+    )
+
+
+def _append_build_trajectory(
+    report: RunReport,
+    configs: list[ExperimentConfig],
+    bench_json_dir: str | Path,
+    as_baseline: bool,
+) -> None:
+    """Emit the ``BENCH_build.json`` series when the run covered the
+    out-of-core build workload: median build wall, bases/sec, the
+    monolithic-vs-blockwise peak-allocation ratio measured in setup,
+    and whether the containers matched byte for byte."""
+    rows = report.steady("blockwise_build")
+    if not rows:
+        return
+    med = report.median_seconds("blockwise_build")
+    n_bases = int(rows[0].metrics.get("n_bases", 0))
+    metrics = {
+        "build_median_seconds": med,
+        "bases_per_second": n_bases / med if med > 0 else 0.0,
+        "n_bases": n_bases,
+        "structure_bytes": int(rows[0].metrics.get("structure_bytes", 0)),
+        "peak_ratio": float(rows[0].metrics.get("peak_ratio", 0.0)),
+        "mono_peak_bytes": int(rows[0].metrics.get("mono_peak_bytes", 0)),
+        "blockwise_peak_bytes": int(rows[0].metrics.get("blockwise_peak_bytes", 0)),
+        "byte_identical": int(rows[0].metrics.get("byte_identical", 0)),
+    }
+    append_trajectory_point(
+        bench_json_dir,
+        "build",
         metrics,
         git_hash=report.git_hash,
         host=report.host,

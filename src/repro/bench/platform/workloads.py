@@ -457,6 +457,89 @@ class FpgaMapping(Workload):
         }
 
 
+#: Fraction of the chr21 profile per scale.  The block budget is scaled
+#: by the same fraction so each run exercises the same blocks-per-
+#: reference ratio the 64 MB default gives against the full chromosome.
+_BUILD_SCALES = {"tiny": 0.00025, "small": 0.0025, "medium": 0.01}
+
+
+@register("blockwise_build")
+class BlockwiseBuild(Workload):
+    """Out-of-core blockwise index build over a chr21-profile reference.
+
+    The untimed setup builds the index once monolithically and once
+    blockwise with ``tracemalloc`` armed, recording the peak-allocation
+    ratio and verifying the two flat containers are byte-identical; every
+    timed trial is then one cold blockwise build into scratch.  The
+    ratio/identity facts ride along in the per-trial metrics so the
+    trajectory (``BENCH_build.json``) and the gate see them.
+    """
+
+    def setup(self, scratch: Path) -> None:
+        import tracemalloc
+
+        from ...core.global_tables import get_global_tables
+        from ...index.build_stream import build_index_blockwise
+        from ...index.builder import build_index
+        from ...index.flat import save_index_flat
+
+        scale_frac = _BUILD_SCALES[self.config.scale]
+        self.ref = profile_reference(
+            "chr21", scale=scale_frac, seed=self.config.seed
+        )
+        self.scratch = scratch
+        self.block_mb = float(self.params.get("block_mb", 64.0 * scale_frac))
+        # The RRR rank tables are process-wide singletons; build them
+        # outside both traced windows so neither peak charges for them.
+        get_global_tables(15)
+        mono_path = scratch / "mono.bwvr"
+        was_tracing = tracemalloc.is_tracing()
+        if was_tracing:
+            tracemalloc.reset_peak()
+        else:
+            tracemalloc.start()
+        index, _ = build_index(self.ref, backend=self.config.backend)
+        save_index_flat(index, mono_path)
+        self.mono_peak = int(tracemalloc.get_traced_memory()[1])
+        if not was_tracing:
+            tracemalloc.stop()
+        del index
+        blk_path = scratch / "blk.bwvr"
+        report = build_index_blockwise(
+            self.ref,
+            blk_path,
+            backend=self.config.backend,
+            block_mb=self.block_mb,
+            measure_peak=True,
+        )
+        self.blockwise_peak = int(report.peak_alloc_bytes)
+        self.byte_identical = mono_path.read_bytes() == blk_path.read_bytes()
+        self.peak_ratio = (
+            self.mono_peak / self.blockwise_peak if self.blockwise_peak else 0.0
+        )
+        blk_path.unlink()
+        mono_path.unlink()
+        self._trial = 0
+
+    def run_once(self) -> dict:
+        from ...index.build_stream import build_index_blockwise
+
+        out = self.scratch / f"trial{self._trial}.bwvr"
+        self._trial += 1
+        report = build_index_blockwise(
+            self.ref, out, backend=self.config.backend, block_mb=self.block_mb
+        )
+        out.unlink(missing_ok=True)
+        return {
+            "n_bases": len(self.ref),
+            "structure_bytes": report.structure_bytes,
+            "byte_identical": int(self.byte_identical),
+            "peak_ratio": self.peak_ratio,
+            "mono_peak_bytes": self.mono_peak,
+            "blockwise_peak_bytes": self.blockwise_peak,
+        }
+
+
 def warm_clock() -> float:
     """One throwaway clock read so the first trial doesn't pay TSC setup."""
     return time.perf_counter()

@@ -55,6 +55,12 @@ def _cmd_index(args: argparse.Namespace) -> int:
         from .index.multiref import MultiReferenceIndex
         from .index.serialization import save_multiref_index
 
+        if args.blockwise:
+            print(
+                "error: --blockwise supports single-reference FASTA only",
+                file=sys.stderr,
+            )
+            return 2
         print(
             f"multi-sequence reference: {len(records)} records, "
             f"{sum(r.length for r in records):,} bp total"
@@ -78,6 +84,35 @@ def _cmd_index(args: argparse.Namespace) -> int:
         print(f"error: reference {rec.name!r} has an empty sequence", file=sys.stderr)
         return 2
     print(f"reference {rec.name}: {rec.length:,} bp")
+    if args.blockwise:
+        from .index.build_stream import build_index_blockwise
+
+        if args.format != "flat":
+            print(
+                "note: --blockwise always writes the flat container format"
+            )
+        report = build_index_blockwise(
+            rec.sequence,
+            args.output,
+            b=args.block_size,
+            sf=args.superblock_factor,
+            backend=args.backend,
+            locate=args.locate,
+            ftab_k=args.ftab_k or None,
+            block_mb=args.block_mb,
+            resume=args.resume,
+        )
+        resumed = " (resumed)" if report.resumed else ""
+        stages = ", ".join(
+            f"{name} {secs:.2f}s" for name, secs in report.stage_seconds.items()
+        )
+        print(f"blockwise build{resumed}: {stages}")
+        print(
+            f"structure: {report.structure_bytes:,} B "
+            f"({report.space_saving_percent:.1f}% saved vs 1 B/char) "
+            f"-> {args.output}"
+        )
+        return 0
     index, report = build_index(
         rec.sequence,
         b=args.block_size,
@@ -550,6 +585,20 @@ def build_parser() -> argparse.ArgumentParser:
         "load) or 'flat' (zero-copy binary, O(1) mmap open)",
     )
     p.add_argument("--on-invalid", choices=["error", "skip", "random"], default="error")
+    p.add_argument(
+        "--blockwise", action="store_true",
+        help="out-of-core build with bounded memory (single-reference, "
+        "flat format; resumable via --resume)",
+    )
+    p.add_argument(
+        "--block-mb", type=float, default=64.0, metavar="MB",
+        help="memory budget of the blockwise suffix-array rounds",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted --blockwise build from its "
+        "checkpointed work directory",
+    )
     _add_telemetry_args(p)
     p.set_defaults(func=_cmd_index)
 

@@ -92,6 +92,74 @@ def read_fields(words: np.ndarray, start_bits: np.ndarray, widths: np.ndarray) -
     return (raw & mask).astype(np.int64)
 
 
+class IncrementalBitPacker:
+    """Streaming :func:`pack_fields`: append field batches, finalize once.
+
+    The blockwise index builder encodes RRR offset streams chunk by chunk
+    without holding every block's offset in memory at once.  Each
+    :meth:`append` packs its batch with the vectorized :func:`pack_fields`
+    and splices the resulting words onto the running stream at the
+    current (generally unaligned) bit position, so ``finalize()`` returns
+    *exactly* the words a single :func:`pack_fields` call over the
+    concatenated inputs would produce — bit for bit, padding included.
+
+    Memory held is O(packed-stream-so-far + one batch); nothing is
+    re-shifted on later appends.
+    """
+
+    def __init__(self) -> None:
+        self._chunks: list[np.ndarray] = []
+        #: Value of the trailing partial word (0 when bit-aligned).
+        self._tail = np.uint64(0)
+        self._bit_len = 0
+
+    @property
+    def bit_length(self) -> int:
+        return self._bit_len
+
+    def append(self, values: np.ndarray, widths: np.ndarray) -> None:
+        """Pack one batch of fields onto the end of the stream."""
+        w, nbits = pack_fields(values, widths)
+        if nbits == 0:
+            return
+        r = self._bit_len & 63
+        if r == 0:
+            self._chunks.append(w)
+            self._bit_len += nbits
+            # pack_fields zero-pads its last word, so a later unaligned
+            # append can OR into it; keep it as the tail when partial.
+            if self._bit_len & 63:
+                self._tail = w[-1]
+                self._chunks[-1] = w[:-1]
+            return
+        ru = np.uint64(r)
+        down = np.uint64(64 - r)
+        n_out = (r + nbits + 63) // 64
+        out = np.empty(n_out, dtype=np.uint64)
+        out[: w.size] = w << ru
+        out[0] |= self._tail
+        if w.size > 1:
+            out[1 : w.size] |= w[:-1] >> down
+        if n_out == w.size + 1:
+            out[-1] = w[-1] >> down
+        self._bit_len += nbits
+        if self._bit_len & 63:
+            self._tail = out[-1]
+            self._chunks.append(out[:-1])
+        else:
+            self._tail = np.uint64(0)
+            self._chunks.append(out)
+
+    def finalize(self) -> tuple[np.ndarray, int]:
+        """The packed stream as ``(words, total_bits)``."""
+        parts = list(self._chunks)
+        if self._bit_len & 63:
+            parts.append(np.array([self._tail], dtype=np.uint64))
+        if not parts:
+            return np.zeros(0, dtype=np.uint64), 0
+        return np.concatenate(parts), self._bit_len
+
+
 class BitWriter:
     """Incremental scalar writer (used by tests as the packing oracle)."""
 

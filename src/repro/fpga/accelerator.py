@@ -84,7 +84,8 @@ class AcceleratorRun:
 
     @property
     def reads_per_second(self) -> float:
-        return self.n_reads / self.modeled_seconds if self.modeled_seconds > 0 else float("inf")
+        # 0.0 (not inf) on zero modeled time: keeps JSON result docs valid.
+        return self.n_reads / self.modeled_seconds if self.modeled_seconds > 0 else 0.0
 
 
 class FPGAAccelerator:

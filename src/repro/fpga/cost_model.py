@@ -121,7 +121,8 @@ class FPGACostModel:
             "transfer_seconds": transfer,
             "total_seconds": total,
             "transfer_hidden": float(transfer <= compute),
-            "reads_per_second": n_reads / total if total > 0 else float("inf"),
+            # 0.0 (not inf) on zero total: this dict is JSON-serialized.
+            "reads_per_second": n_reads / total if total > 0 else 0.0,
         }
 
     def energy_joules(self, seconds: float) -> float:

@@ -90,8 +90,9 @@ def scaling_curve(
             {
                 "lanes": float(lanes),
                 "seconds": t,
-                "speedup_vs_1": base / t if t > 0 else float("inf"),
-                "reads_per_second": n_reads / t if t > 0 else float("inf"),
+                # 0.0 (not inf) on zero time: rows land in JSON bench docs.
+                "speedup_vs_1": base / t if t > 0 else 0.0,
+                "reads_per_second": n_reads / t if t > 0 else 0.0,
             }
         )
     return rows

@@ -1,9 +1,15 @@
 """FM-index layer: backward search over pluggable rank backends."""
 
 from .bidirectional import BidirectionalFMIndex, BiInterval
+from .build_stream import (
+    BuildResumeError,
+    StreamingRRREncoder,
+    build_index_blockwise,
+)
 from .builder import BuildReport, build_index, encode_existing_bwt
 from .extract import TextExtractor
 from .flat import (
+    FlatWriter,
     attach_index_from_buffer,
     detect_index_format,
     load_any_index_auto,
@@ -32,9 +38,11 @@ __all__ = [
     "BiInterval",
     "BidirectionalFMIndex",
     "BuildReport",
+    "BuildResumeError",
     "Chunk",
     "DEFAULT_FTAB_K",
     "FMIndex",
+    "FlatWriter",
     "Ftab",
     "IndexFormatError",
     "IndexValidationError",
@@ -44,11 +52,13 @@ __all__ = [
     "PartitionedIndex",
     "ReferenceHit",
     "SearchResult",
+    "StreamingRRREncoder",
     "TextExtractor",
     "ValidationReport",
     "attach_index_from_buffer",
     "build_ftab",
     "build_index",
+    "build_index_blockwise",
     "detect_index_format",
     "encode_existing_bwt",
     "load_any_index_auto",

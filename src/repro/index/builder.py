@@ -60,6 +60,16 @@ class BuildReport:
     #: K-mer jump-start table build time and footprint (0 when disabled).
     ftab_seconds: float = 0.0
     ftab_bytes: int = 0
+    #: ``"monolithic"`` (in-RAM :func:`build_index`) or ``"blockwise"``
+    #: (:func:`repro.index.build_stream.build_index_blockwise`).
+    build_mode: str = "monolithic"
+    #: Finer-grained wall seconds per pipeline stage (stage name -> s).
+    stage_seconds: dict = field(default_factory=dict)
+    #: tracemalloc peak of traced allocations during the build, when the
+    #: builder was asked to measure it (0 otherwise).
+    peak_alloc_bytes: int = 0
+    #: True when a blockwise build continued from on-disk checkpoints.
+    resumed: bool = False
 
     @property
     def compression_ratio(self) -> float:
@@ -156,6 +166,11 @@ def build_index(
             bwt_runs=run_length_stats(bwt),
             ftab_seconds=ftab_seconds,
             ftab_bytes=ftab.size_in_bytes() if ftab is not None else 0,
+            stage_seconds={
+                "sa_bwt": t1 - t0,
+                "encode": t2 - t1,
+                "ftab": ftab_seconds,
+            },
         )
     m = tel.metrics
     m.counter("index_builds_total", "Index builds completed").inc()

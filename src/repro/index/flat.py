@@ -35,6 +35,8 @@ format.  All structural failures raise
 from __future__ import annotations
 
 import json
+import os
+import shutil
 import struct
 import time
 import zlib
@@ -203,20 +205,103 @@ def save_index_flat(index: FMIndex, path: str | Path) -> int:
     return _write_container(meta, segments, path)
 
 
+#: Slice size for streaming segment bytes to disk.  Bounds the transient
+#: copy per write to a few MB even when a segment is a multi-GB memmap.
+_STREAM_CHUNK = 1 << 20
+
+
+class FlatWriter:
+    """Append/finalize writer producing a flat container incrementally.
+
+    The one-shot :func:`_write_container` needed every segment in memory
+    at once (and ``arr.tobytes()`` doubled each one transiently).  The
+    blockwise builder instead appends segments *as their arrays finish*
+    — typically ``np.memmap`` views over spill files — and each
+    :meth:`add_segment` streams the bytes to a temporary data file in
+    ≤ 8 MB slices with a rolling CRC32, so peak RSS stays O(chunk).
+
+    ``finalize(meta)`` writes header + manifest + the accumulated data
+    region to ``path`` atomically (temp file + rename).  The output is
+    byte-identical to the one-shot path for the same segment sequence:
+    same alignment rule, same manifest JSON, same CRCs.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._data_path = self.path.with_name(self.path.name + ".data.tmp")
+        self._fh = open(self._data_path, "wb")
+        self._entries: list[dict] = []
+        self._rel = 0
+        self._done = False
+
+    def add_segment(self, name: str, arr: np.ndarray) -> None:
+        if self._done:
+            raise IndexFormatError("FlatWriter already finalized")
+        arr = np.ascontiguousarray(arr)
+        pad = _align_up(self._rel) - self._rel
+        if pad:
+            self._fh.write(b"\x00" * pad)
+            self._rel += pad
+        flat = arr.reshape(-1).view(np.uint8)
+        crc = 0
+        for i in range(0, flat.nbytes, _STREAM_CHUNK):
+            chunk = flat[i : i + _STREAM_CHUNK]
+            crc = zlib.crc32(chunk, crc)
+            self._fh.write(chunk)
+        self._entries.append(
+            {
+                "name": name,
+                "dtype": arr.dtype.str,
+                "shape": list(arr.shape),
+                "offset": self._rel,
+                "nbytes": int(arr.nbytes),
+                "crc32": crc & 0xFFFFFFFF,
+            }
+        )
+        self._rel += int(arr.nbytes)
+
+    def finalize(self, meta: dict) -> int:
+        """Assemble the container at ``path``; returns its size in bytes."""
+        if self._done:
+            raise IndexFormatError("FlatWriter already finalized")
+        self._done = True
+        self._fh.close()
+        manifest = json.dumps({"meta": meta, "segments": self._entries}).encode("utf-8")
+        data_start = _align_up(_HEADER.size + len(manifest))
+        total = data_start + self._rel
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            with open(tmp, "wb") as out, open(self._data_path, "rb") as src:
+                out.write(_HEADER.pack(MAGIC, FLAT_VERSION, len(manifest), data_start))
+                out.write(manifest)
+                out.write(b"\x00" * (data_start - _HEADER.size - len(manifest)))
+                shutil.copyfileobj(src, out, _STREAM_CHUNK)
+            os.replace(tmp, self.path)
+        finally:
+            tmp.unlink(missing_ok=True)
+            self._data_path.unlink(missing_ok=True)
+        return max(total, data_start)
+
+    def abort(self) -> None:
+        """Discard partial output (safe to call after errors)."""
+        if not self._done:
+            self._done = True
+            self._fh.close()
+        self._data_path.unlink(missing_ok=True)
+
+    def __enter__(self) -> "FlatWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.abort()
+
+
 def _write_container(meta: dict, segments: dict[str, np.ndarray], path: str | Path) -> int:
-    manifest, entries, data_start, total = _layout(meta, segments)
-    path = Path(path)
-    with open(path, "wb") as fh:
-        fh.write(_HEADER.pack(MAGIC, FLAT_VERSION, len(manifest), data_start))
-        fh.write(manifest)
-        fh.write(b"\x00" * (data_start - _HEADER.size - len(manifest)))
-        pos = data_start
-        for entry, arr in zip(entries, segments.values()):
-            start = data_start + entry["offset"]
-            fh.write(b"\x00" * (start - pos))
-            fh.write(np.ascontiguousarray(arr).tobytes())
-            pos = start + entry["nbytes"]
-    return total
+    with FlatWriter(path) as writer:
+        for name, arr in segments.items():
+            writer.add_segment(name, arr)
+        return writer.finalize(meta)
 
 
 def save_multiref_index_flat(multi, path: str | Path) -> int:

@@ -197,7 +197,10 @@ class FMIndex:
         if not res.found:
             return np.zeros(0, dtype=np.int64)
         positions = self.locate_structure.locate_range(
-            res.start, res.end, lf=self.backend.lf
+            res.start,
+            res.end,
+            lf=self.backend.lf,
+            lf_many=getattr(self.backend, "lf_many", None),
         )
         return np.sort(positions)
 

@@ -260,6 +260,28 @@ class OccTable:
             return 0
         return self.count_smaller(sym) + self.occ(sym, i)
 
+    def lf_many(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`lf`: one 2-bit gather plus one
+        :meth:`occ_many` per distinct symbol.  Identical to the scalar
+        path row by row."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        j = np.where(rows > self.dollar_pos, rows - 1, rows)
+        if self.words.size:
+            words = self.words[j // BASES_PER_WORD]
+            shifts = (2 * (j % BASES_PER_WORD)).astype(np.uint64)
+            syms = ((words >> shifts) & np.uint64(3)).astype(np.int64)
+        else:
+            syms = np.zeros(rows.size, dtype=np.int64)
+        syms[rows == self.dollar_pos] = -1
+        out = np.zeros(rows.size, dtype=np.int64)
+        for a in range(SIGMA):
+            m = syms == a
+            if np.any(m):
+                out[m] = int(self.C[a]) + self.occ_many(a, rows[m])
+        return out
+
     def size_in_bytes(self, include_shared: bool = True) -> int:
         """Packed BWT + checkpoints + C (``include_shared`` accepted for
         protocol compatibility; there are no shared tables here)."""

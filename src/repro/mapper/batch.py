@@ -36,7 +36,9 @@ class BatchRunReport:
 
     @property
     def reads_per_second(self) -> float:
-        return self.n_reads / self.wall_seconds if self.wall_seconds > 0 else float("inf")
+        # 0.0 (not inf) on zero wall time: these reports are serialized to
+        # JSON bench/result docs, and Infinity is not valid JSON.
+        return self.n_reads / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
     @property
     def total_bs_steps(self) -> int:

@@ -29,7 +29,7 @@ class FullSA:
             raise IndexError(f"row {row} out of range [0, {self.sa.size})")
         return int(self.sa[row])
 
-    def locate_range(self, start: int, end: int, lf=None) -> np.ndarray:
+    def locate_range(self, start: int, end: int, lf=None, lf_many=None) -> np.ndarray:
         """Text positions for rows ``[start, end)`` (one per occurrence)."""
         if not 0 <= start <= end <= self.sa.size:
             raise IndexError("row range out of bounds")
@@ -90,10 +90,32 @@ class SampledSA:
         pos = int(self.samples[row // self.k]) + steps
         return pos % self.n_rows
 
-    def locate_range(self, start: int, end: int, lf) -> np.ndarray:
+    def locate_range(self, start: int, end: int, lf, lf_many=None) -> np.ndarray:
+        """Text positions for rows ``[start, end)``.
+
+        With ``lf_many`` (a vectorized LF kernel such as
+        ``BWTStructure.lf_many``) all rows in the interval walk toward
+        their sampled ancestors *together*: each iteration advances only
+        the still-unsampled rows in one batched LF call, so an interval
+        of ``m`` occurrences costs at most ``k - 1`` batch steps instead
+        of ``m`` independent scalar walks.  Without it, the scalar
+        per-row path is used (and remains the differential oracle).
+        """
         if not 0 <= start <= end <= self.n_rows:
             raise IndexError("row range out of bounds")
-        return np.array([self.locate(r, lf) for r in range(start, end)], dtype=np.int64)
+        if lf_many is None:
+            return np.array(
+                [self.locate(r, lf) for r in range(start, end)], dtype=np.int64
+            )
+        rows = np.arange(start, end, dtype=np.int64)
+        steps = np.zeros(rows.size, dtype=np.int64)
+        active = rows % self.k != 0
+        while np.any(active):
+            rows[active] = lf_many(rows[active])
+            steps[active] += 1
+            active = rows % self.k != 0
+        pos = self.samples[rows // self.k].astype(np.int64) + steps
+        return pos % self.n_rows
 
     def size_in_bytes(self) -> int:
         return self.samples.nbytes

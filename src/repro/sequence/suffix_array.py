@@ -54,7 +54,7 @@ def suffix_array(codes: np.ndarray, method: Method = "doubling") -> np.ndarray:
     if method == "doubling":
         return _sa_doubling(s)
     if method == "sais":
-        return np.asarray(sais(s.tolist(), int(s.max()) + 1), dtype=np.int64)
+        return _sais_numpy(s)
     raise ValueError(f"unknown suffix-array method {method!r}")
 
 
@@ -93,8 +93,136 @@ def _sa_doubling(s: np.ndarray) -> np.ndarray:
 
 
 # --------------------------------------------------------------------------
-# SA-IS (Nong, Zhang & Chan, 2009) — pure-Python linear-time construction.
+# SA-IS (Nong, Zhang & Chan, 2009) — numpy-accelerated construction.
 # --------------------------------------------------------------------------
+
+
+def _sais_numpy(s: np.ndarray) -> np.ndarray:
+    """SA-IS operating on numpy arrays end to end.
+
+    This replaces the old ``np.asarray(sais(s.tolist(), ...))`` round
+    trip: type classification, LMS detection, and LMS-substring naming
+    are fully vectorized; only the three induced-sorting sweeps remain
+    scalar Python loops (they are inherently sequential — each placement
+    depends on entries placed earlier in the same sweep — and run
+    fastest over plain lists, so the arrays are converted once per
+    recursion level for exactly that part).  The pure-Python
+    :func:`sais` below is kept unchanged as the differential oracle.
+    """
+    s = np.asarray(s, dtype=np.int64)
+    n = s.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if n == 1:
+        return np.zeros(1, dtype=np.int64)
+    # 1. S/L classification.  t[i] compares s[i] against the next position
+    # where adjacent symbols differ: within an equal run the type is that
+    # of the run's last element, and the final position is S by definition.
+    ne = np.empty(n, dtype=bool)
+    ne[:-1] = s[:-1] != s[1:]
+    ne[-1] = True
+    idx = np.arange(n, dtype=np.int64)
+    nxt = np.minimum.accumulate(np.where(ne, idx, n - 1)[::-1])[::-1]
+    cmp = np.empty(n, dtype=bool)
+    cmp[:-1] = s[:-1] < s[1:]
+    cmp[-1] = True
+    t = cmp[nxt]
+    # 2. LMS positions: S-type preceded by L-type.
+    lms = np.zeros(n, dtype=bool)
+    lms[1:] = t[1:] & ~t[:-1]
+    lms_positions = np.flatnonzero(lms)
+    sigma = int(s.max()) + 1
+    counts = np.bincount(s, minlength=sigma).tolist()
+    t_list = t.tolist()
+    s_list = s.tolist()
+    # 3. First induction from the (unsorted) LMS positions.
+    sa = np.array(
+        _induce(s_list, t_list, counts, sigma, lms_positions.tolist()),
+        dtype=np.int64,
+    )
+    # 4. Name LMS substrings in their induced order — vectorized ragged
+    # comparison of adjacent pairs (both symbols and types, like the
+    # scalar oracle; substrings span up to and including the next LMS).
+    lms_sorted = sa[lms[sa]]
+    lms_rank = np.empty(n, dtype=np.int64)
+    lms_rank[lms_positions] = np.arange(lms_positions.size, dtype=np.int64)
+    lms_len = np.diff(lms_positions, append=n - 1) + 1
+    n_pairs = lms_sorted.size - 1
+    equal = np.zeros(n_pairs, dtype=bool)
+    prev, cur = lms_sorted[:-1], lms_sorted[1:]
+    maybe = lms_len[lms_rank[prev]] == lms_len[lms_rank[cur]]
+    cand = np.flatnonzero(maybe)
+    if cand.size:
+        seg_len = lms_len[lms_rank[prev[cand]]]
+        seg_start = np.concatenate(([0], np.cumsum(seg_len)[:-1]))
+        within = np.arange(int(seg_len.sum()), dtype=np.int64) - np.repeat(
+            seg_start, seg_len
+        )
+        gp = np.repeat(prev[cand], seg_len) + within
+        gc = np.repeat(cur[cand], seg_len) + within
+        elem_eq = (s[gp] == s[gc]) & (t[gp] == t[gc])
+        equal[cand] = np.logical_and.reduceat(elem_eq, seg_start)
+    names_sorted = np.concatenate(([0], np.cumsum(~equal)))
+    current = int(names_sorted[-1]) if names_sorted.size else 0
+    names = np.empty(n, dtype=np.int64)
+    names[lms_sorted] = names_sorted
+    reduced = names[lms_positions]
+    # 5. Recurse if LMS names are not yet unique.
+    if current + 1 == lms_positions.size:
+        lms_order = np.empty(lms_positions.size, dtype=np.int64)
+        lms_order[reduced] = lms_positions
+    else:
+        lms_order = lms_positions[_sais_numpy(reduced)]
+    # 6. Final induction from the fully sorted LMS suffixes.
+    return np.array(
+        _induce(s_list, t_list, counts, sigma, lms_order.tolist()),
+        dtype=np.int64,
+    )
+
+
+def _induce(
+    s: list[int], t: list[bool], counts: list[int], sigma: int, lms_order: list[int]
+) -> list[int]:
+    """The three induced-sorting sweeps shared by both SA-IS variants."""
+    n = len(s)
+    sa = [-1] * n
+    # Place LMS suffixes at their buckets' tails, reversed so earlier
+    # entries end up closer to the tail.
+    tails = [0] * sigma
+    total = 0
+    for ch in range(sigma):
+        total += counts[ch]
+        tails[ch] = total - 1
+    for i in reversed(lms_order):
+        ch = s[i]
+        sa[tails[ch]] = i
+        tails[ch] -= 1
+    # Induce L-type from left to right.
+    heads = [0] * sigma
+    total = 0
+    for ch in range(sigma):
+        heads[ch] = total
+        total += counts[ch]
+    for j in range(n):
+        i = sa[j]
+        if i > 0 and not t[i - 1]:
+            ch = s[i - 1]
+            sa[heads[ch]] = i - 1
+            heads[ch] += 1
+    # Induce S-type from right to left.
+    tails = [0] * sigma
+    total = 0
+    for ch in range(sigma):
+        total += counts[ch]
+        tails[ch] = total - 1
+    for j in range(n - 1, -1, -1):
+        i = sa[j]
+        if i > 0 and t[i - 1]:
+            ch = s[i - 1]
+            sa[tails[ch]] = i - 1
+            tails[ch] -= 1
+    return sa
+
 
 def sais(s: list[int], sigma: int) -> list[int]:
     """Linear-time suffix array of ``s`` via induced sorting.

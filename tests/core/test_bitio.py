@@ -118,3 +118,82 @@ class TestBitWriter:
         w.write(3, 2)
         w.write(0, 5)
         assert w.bit_length == 7
+
+
+class TestIncrementalBitPacker:
+    """The streaming packer must be bit-identical to one-shot pack_fields."""
+
+    def _random_fields(self, rng, n):
+        widths = rng.integers(0, 20, size=n).astype(np.int64)
+        values = np.zeros(n, dtype=np.uint64)
+        nz = widths > 0
+        if nz.any():
+            caps = (np.uint64(1) << widths[nz].astype(np.uint64)) - np.uint64(1)
+            values[nz] = rng.integers(0, caps + np.uint64(1), dtype=np.uint64)
+        return values, widths
+
+    def test_empty(self):
+        from repro.core.bitio import IncrementalBitPacker
+
+        packer = IncrementalBitPacker()
+        words, n = packer.finalize()
+        assert n == 0 and words.size == 0
+
+    def test_single_append_matches_pack_fields(self):
+        from repro.core.bitio import IncrementalBitPacker
+
+        rng = np.random.default_rng(0)
+        values, widths = self._random_fields(rng, 257)
+        want_words, want_bits = pack_fields(values, widths)
+        packer = IncrementalBitPacker()
+        packer.append(values, widths)
+        got_words, got_bits = packer.finalize()
+        assert got_bits == want_bits
+        assert np.array_equal(got_words, want_words)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_splits_match_pack_fields(self, seed):
+        from repro.core.bitio import IncrementalBitPacker
+
+        rng = np.random.default_rng(seed)
+        values, widths = self._random_fields(rng, 500)
+        want_words, want_bits = pack_fields(values, widths)
+        packer = IncrementalBitPacker()
+        i = 0
+        while i < values.size:
+            step = int(rng.integers(1, 40))
+            packer.append(values[i : i + step], widths[i : i + step])
+            i += step
+        got_words, got_bits = packer.finalize()
+        assert got_bits == want_bits
+        assert np.array_equal(got_words, want_words)
+
+    def test_zero_width_runs(self):
+        from repro.core.bitio import IncrementalBitPacker
+
+        packer = IncrementalBitPacker()
+        packer.append(np.zeros(10, dtype=np.uint64), np.zeros(10, dtype=np.int64))
+        packer.append(np.array([5], dtype=np.uint64), np.array([3]))
+        words, n = packer.finalize()
+        want_words, want_bits = pack_fields(
+            np.array([0] * 10 + [5], dtype=np.uint64),
+            np.array([0] * 10 + [3], dtype=np.int64),
+        )
+        assert n == want_bits
+        assert np.array_equal(words, want_words)
+
+    def test_matches_scalar_bitwriter(self):
+        from repro.core.bitio import IncrementalBitPacker
+
+        rng = np.random.default_rng(42)
+        values, widths = self._random_fields(rng, 300)
+        writer = BitWriter()
+        for v, w in zip(values, widths):
+            writer.write(int(v), int(w))
+        want_words, want_bits = writer.to_words()
+        packer = IncrementalBitPacker()
+        for i in range(0, values.size, 7):
+            packer.append(values[i : i + 7], widths[i : i + 7])
+        got_words, got_bits = packer.finalize()
+        assert got_bits == want_bits
+        assert np.array_equal(got_words, want_words)

@@ -159,3 +159,45 @@ class TestSAISInternals:
 
     def test_sais_single(self):
         assert sais([0], 1) == [0]
+
+
+class TestNumpySAISEquivalence:
+    """The vectorized SA-IS path vs the legacy pure-Python oracle."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_matches_legacy(self, seed):
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 4, int(rng.integers(1, 800))).astype(np.uint8)
+        got = suffix_array(codes, method="sais")
+        s = [int(c) + 1 for c in codes] + [0]
+        legacy = sais(s, 5)
+        assert got.tolist() == legacy
+
+    @pytest.mark.parametrize("text", [
+        "A",
+        "AAAAAAAAAA",
+        "ACACACACACAC",
+        "ACGTACGTACGT",
+        "AACCGGTTAACCGGTT" * 8,
+        "ACGT" * 100 + "A",
+        "GATTACA" * 40,
+    ])
+    def test_periodic_matches_legacy(self, text):
+        codes = encode(text)
+        got = suffix_array(codes, method="sais")
+        s = [int(c) + 1 for c in codes] + [0]
+        legacy = sais(s, 5)
+        assert got.tolist() == legacy
+        assert verify_suffix_array(codes, got)
+
+    def test_deep_recursion_case(self):
+        # Thue-Morse-like string: forces LMS-name collisions and deep
+        # recursion in both implementations.
+        t = [0]
+        for _ in range(9):
+            t = t + [1 - x for x in t]
+        codes = np.array([c + 1 for c in t], dtype=np.uint8)  # values 1,2
+        got = suffix_array(codes, method="sais")
+        s = [int(c) + 1 for c in codes] + [0]
+        legacy = sais(s, 4)
+        assert got.tolist() == legacy

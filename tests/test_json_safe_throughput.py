@@ -1,0 +1,88 @@
+"""Zero-wall-time throughput fields must be JSON-safe.
+
+Several report objects expose ``reads_per_second``-style derived rates
+that previously evaluated to ``float("inf")`` on a zero denominator.
+``json.dumps`` emits that as the bare token ``Infinity``, which is not
+valid JSON — ``json.loads(..., parse_constant=...)`` or any strict
+consumer (jq, browsers, other languages) rejects the document.  These
+tests pin the contract: zero time -> 0.0, and the full document
+round-trips through a *strict* ``json.loads``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.fpga.accelerator import AcceleratorRun
+from repro.fpga.cost_model import FPGACostModel
+from repro.fpga.kernel import KernelRun
+from repro.fpga.multicore import scaling_curve
+from repro.mapper.batch import BatchRunReport
+
+
+def _strict_loads(doc: str):
+    """json.loads that rejects Infinity/NaN like a non-Python consumer."""
+
+    def _no_constants(name: str):
+        raise ValueError(f"non-JSON constant {name!r} in document")
+
+    return json.loads(doc, parse_constant=_no_constants)
+
+
+def test_batch_report_zero_wall_time():
+    report = BatchRunReport(
+        n_reads=100, read_length=50, wall_seconds=0.0, mapping_ratio=0.5
+    )
+    assert report.reads_per_second == 0.0
+    doc = json.dumps(
+        {"reads_per_second": report.reads_per_second, "wall": report.wall_seconds}
+    )
+    assert _strict_loads(doc)["reads_per_second"] == 0.0
+
+
+def test_accelerator_run_zero_modeled_time():
+    run = AcceleratorRun(
+        kernel_run=KernelRun(outcomes=[], hw_steps_total=0, sw_steps_total=0),
+        modeled_seconds=0.0,
+        modeled_load_seconds=0.0,
+        modeled_kernel_seconds=0.0,
+        modeled_transfer_seconds=0.0,
+        host_wall_seconds=0.0,
+        energy_joules=0.0,
+    )
+    assert run.reads_per_second == 0.0
+    doc = json.dumps({"reads_per_second": run.reads_per_second})
+    assert _strict_loads(doc)["reads_per_second"] == 0.0
+
+
+def test_cost_model_report_zero_total():
+    model = FPGACostModel()
+    report = model.run_report(structure_bytes=0, hw_steps_total=0, n_reads=0)
+    assert report["reads_per_second"] == 0.0
+    assert all(math.isfinite(v) for v in report.values())
+    assert _strict_loads(json.dumps(report))["reads_per_second"] == 0.0
+
+
+def test_scaling_curve_zero_workload():
+    model = FPGACostModel()
+    rows = scaling_curve(
+        model, structure_bytes=0, hw_steps_total=0, n_reads=0, lane_counts=(1, 2)
+    )
+    for row in rows:
+        assert row["speedup_vs_1"] == 0.0
+        assert row["reads_per_second"] == 0.0
+    back = _strict_loads(json.dumps(rows))
+    assert back[0]["speedup_vs_1"] == 0.0
+
+
+def test_nonzero_paths_unaffected():
+    report = BatchRunReport(
+        n_reads=100, read_length=50, wall_seconds=2.0, mapping_ratio=0.5
+    )
+    assert report.reads_per_second == pytest.approx(50.0)
+    model = FPGACostModel()
+    rep = model.run_report(structure_bytes=1024, hw_steps_total=1000, n_reads=10)
+    assert rep["reads_per_second"] > 0.0
